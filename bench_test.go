@@ -1,0 +1,476 @@
+// Benchmark harness: one testing.B benchmark per table/figure of the
+// paper's evaluation (§5), plus ablation benches for the TRIAD knobs.
+//
+// Each figure benchmark executes the same experiment grid the triadbench
+// command prints, at a reduced scale so the full suite completes in
+// minutes, and reports the figure's headline quantities via
+// b.ReportMetric (KOPS, write amplification, compacted MB, ...). Run
+//
+//	go test -bench=. -benchmem
+//
+// or a single figure:
+//
+//	go test -bench=BenchmarkFig9A -benchmem
+package triad
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/harness"
+	"repro/internal/lsm"
+	"repro/internal/vfs"
+	"repro/internal/workload"
+)
+
+// benchScale keeps every figure under a few seconds per iteration.
+func benchScale() harness.Scale {
+	return harness.Scale{
+		Keys:          40_000,
+		Ops:           80_000,
+		ProdScale:     1500,
+		ProdOps:       100_000,
+		MemtableBytes: 384 << 10,
+		Threads:       8,
+	}
+}
+
+// BenchmarkFig2 measures the throughput cost of background I/O
+// (paper Figure 2): baseline vs the same engine with flush/compaction
+// disabled, over four workload mixes.
+func BenchmarkFig2(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		cells, err := harness.Fig2(s, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Report the uniform 10r-90w pair, the paper's starkest case.
+		b.ReportMetric(cells[2].Res.KOPS, "base_kops")
+		b.ReportMetric(cells[3].Res.KOPS, "nobg_kops")
+		b.ReportMetric(cells[3].Res.KOPS/cells[2].Res.KOPS, "speedup")
+	}
+}
+
+// BenchmarkFig9A runs the four production workload models on baseline and
+// TRIAD (paper Figure 9A: throughput and write amplification).
+func BenchmarkFig9A(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		cells, err := harness.Fig9A(s, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var maxGain, maxWAcut float64
+		for j := 0; j < len(cells); j += 2 {
+			base, triad := cells[j].Res, cells[j+1].Res
+			if g := triad.KOPS / base.KOPS; g > maxGain {
+				maxGain = g
+			}
+			if triad.WA > 0 {
+				if c := base.WA / triad.WA; c > maxWAcut {
+					maxWAcut = c
+				}
+			}
+		}
+		b.ReportMetric(maxGain, "max_tput_gain_x")
+		b.ReportMetric(maxWAcut, "max_wa_cut_x")
+	}
+}
+
+// BenchmarkFig9B sweeps thread counts on the three synthetic skews
+// (paper Figure 9B throughput grid; Figure 9C's WA comes from the same
+// runs). The full grid lives in Fig9BC; here each skew × thread cell is a
+// sub-benchmark so `-bench` can select slices of the grid.
+func BenchmarkFig9B(b *testing.B) {
+	s := benchScale()
+	skews := map[string]workload.KeyDist{
+		"Skew1-99":  workload.HotCold{N: s.Keys, HotFraction: 0.01, HotAccess: 0.99},
+		"Skew20-80": workload.HotCold{N: s.Keys, HotFraction: 0.20, HotAccess: 0.80},
+		"NoSkew":    workload.Uniform{N: s.Keys},
+	}
+	for name, dist := range skews {
+		for _, threads := range []int{1, 8, 16} {
+			for _, mode := range []string{"baseline", "triad"} {
+				b.Run(fmt.Sprintf("%s/t%d/%s", name, threads, mode), func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						res := runOne(b, s, mode, dist, 0.1, threads)
+						b.ReportMetric(res.KOPS, "kops")
+						b.ReportMetric(res.WA, "wa")
+					}
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFig9C reports the write-amplification comparison at the
+// paper's 8-thread point for each skew (Figure 9C).
+func BenchmarkFig9C(b *testing.B) {
+	s := benchScale()
+	skews := []struct {
+		name string
+		dist workload.KeyDist
+	}{
+		{"Skew1-99", workload.HotCold{N: s.Keys, HotFraction: 0.01, HotAccess: 0.99}},
+		{"Skew20-80", workload.HotCold{N: s.Keys, HotFraction: 0.20, HotAccess: 0.80}},
+		{"NoSkew", workload.Uniform{N: s.Keys}},
+	}
+	for _, sk := range skews {
+		b.Run(sk.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				base := runOne(b, s, "baseline", sk.dist, 0.1, s.Threads)
+				triad := runOne(b, s, "triad", sk.dist, 0.1, s.Threads)
+				b.ReportMetric(base.WA, "base_wa")
+				b.ReportMetric(triad.WA, "triad_wa")
+			}
+		})
+	}
+}
+
+// BenchmarkFig9D reports compacted bytes and % time in compaction
+// (paper Figure 9D) for the three skews.
+func BenchmarkFig9D(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		cells, err := harness.Fig9D(s, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Cells alternate triad/base per skew; report the skewed pair.
+		b.ReportMetric(cells[0].Res.CompactedMB, "triad_skew_compMB")
+		b.ReportMetric(cells[1].Res.CompactedMB, "base_skew_compMB")
+		b.ReportMetric(cells[0].Res.PctCompaction, "triad_skew_pct")
+		b.ReportMetric(cells[1].Res.PctCompaction, "base_skew_pct")
+	}
+}
+
+// BenchmarkFig10 reports the per-technique throughput breakdown
+// (paper Figure 10) on the uniform and highly skewed workloads.
+func BenchmarkFig10(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		out, err := harness.Fig10(s, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for wl, cells := range out {
+			prefix := "uniform_"
+			if wl == "Skew 1-99" {
+				prefix = "skew_"
+			}
+			for _, c := range cells {
+				switch {
+				case contains(c.Label, "TRIAD-MEM"):
+					b.ReportMetric(c.Res.KOPS, prefix+"mem_kops")
+				case contains(c.Label, "TRIAD-DISK"):
+					b.ReportMetric(c.Res.KOPS, prefix+"disk_kops")
+				case contains(c.Label, "TRIAD-LOG"):
+					b.ReportMetric(c.Res.KOPS, prefix+"log_kops")
+				case contains(c.Label, "RocksDB"):
+					b.ReportMetric(c.Res.KOPS, prefix+"base_kops")
+				default:
+					b.ReportMetric(c.Res.KOPS, prefix+"triad_kops")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig11 reports the per-technique WA (normalized to baseline)
+// and the RA breakdown (paper Figure 11).
+func BenchmarkFig11(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		out, err := harness.Fig11(s, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		uniform := out["no skew"]
+		var baseWA float64
+		for _, c := range uniform {
+			if contains(c.Label, "RocksDB") {
+				baseWA = c.Res.WA
+			}
+		}
+		for _, c := range uniform {
+			switch {
+			case contains(c.Label, "TRIAD-DISK"):
+				b.ReportMetric(c.Res.WA/baseWA, "disk_norm_wa")
+				b.ReportMetric(c.Res.RA, "disk_ra")
+			case contains(c.Label, "TRIAD-LOG"):
+				b.ReportMetric(c.Res.WA/baseWA, "log_norm_wa")
+			case contains(c.Label, "RocksDB"):
+				b.ReportMetric(c.Res.RA, "base_ra")
+			}
+		}
+	}
+}
+
+// --- Ablation benches for the TRIAD knobs DESIGN.md calls out ---
+
+// BenchmarkAblationOverlapThreshold sweeps TRIAD-DISK's overlap-ratio
+// gate on a uniform workload.
+func BenchmarkAblationOverlapThreshold(b *testing.B) {
+	s := benchScale()
+	for _, th := range []float64{0.1, 0.4, 0.8} {
+		b.Run(fmt.Sprintf("th=%.1f", th), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := runCustom(b, s, workload.Uniform{N: s.Keys}, 0.1, func(o *lsm.Options) {
+					o.TriadMem, o.TriadDisk, o.TriadLog = true, true, true
+					o.OverlapRatioThreshold = th
+				})
+				b.ReportMetric(res.WA, "wa")
+				b.ReportMetric(float64(res.Deferred), "deferrals")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationMaxL0 sweeps the forced-compaction L0 cap.
+func BenchmarkAblationMaxL0(b *testing.B) {
+	s := benchScale()
+	for _, maxL0 := range []int{4, 6, 12} {
+		b.Run(fmt.Sprintf("maxL0=%d", maxL0), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := runCustom(b, s, workload.Uniform{N: s.Keys}, 0.1, func(o *lsm.Options) {
+					o.TriadMem, o.TriadDisk, o.TriadLog = true, true, true
+					o.MaxFilesL0 = maxL0
+				})
+				b.ReportMetric(res.WA, "wa")
+				b.ReportMetric(res.RA, "ra")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationHotFraction sweeps TRIAD-MEM's hot-set budget under
+// the 20%-80% skew where the hot set cannot fully fit (paper §5.3's WS2
+// robustness argument).
+func BenchmarkAblationHotFraction(b *testing.B) {
+	s := benchScale()
+	dist := workload.HotCold{N: s.Keys, HotFraction: 0.20, HotAccess: 0.80}
+	for _, hf := range []float64{0.01, 0.10, 0.50} {
+		b.Run(fmt.Sprintf("hot=%.2f", hf), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := runCustom(b, s, dist, 0.1, func(o *lsm.Options) {
+					o.TriadMem = true
+					o.HotPolicy = 0 // HotTopK
+					o.HotFraction = hf
+				})
+				b.ReportMetric(res.WA, "wa")
+				b.ReportMetric(res.KOPS, "kops")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationFlushTH sweeps TRIAD-MEM's FLUSH_TH small-memtable
+// skip on the highly skewed workload that triggers log-full flushes.
+func BenchmarkAblationFlushTH(b *testing.B) {
+	s := benchScale()
+	dist := workload.HotCold{N: s.Keys, HotFraction: 0.01, HotAccess: 0.99}
+	for _, frac := range []float64{0, 0.5, 0.9} {
+		b.Run(fmt.Sprintf("th=%.1f", frac), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := runCustom(b, s, dist, 0.1, func(o *lsm.Options) {
+					o.TriadMem, o.TriadDisk, o.TriadLog = true, true, true
+					if frac == 0 {
+						o.FlushThresholdBytes = 1 // effectively never skip
+					} else {
+						o.FlushThresholdBytes = int64(frac * float64(o.MemtableBytes))
+					}
+				})
+				b.ReportMetric(float64(res.FlushSkips), "flush_skips")
+				b.ReportMetric(res.WA, "wa")
+			}
+		})
+	}
+}
+
+// BenchmarkSizeTiered compares leveled vs size-tiered compaction, with
+// and without TRIAD-DISK's HLL bucket selection (the §2 adaptation).
+func BenchmarkSizeTiered(b *testing.B) {
+	s := benchScale()
+	dist := workload.HotCold{N: s.Keys, HotFraction: 0.20, HotAccess: 0.80}
+	for _, v := range []struct {
+		name       string
+		sizeTiered bool
+		triadDisk  bool
+	}{
+		{"leveled", false, false},
+		{"size-tiered", true, false},
+		{"size-tiered+disk", true, true},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := runCustom(b, s, dist, 0.1, func(o *lsm.Options) {
+					o.SizeTieredCompaction = v.sizeTiered
+					o.TriadDisk = v.triadDisk
+				})
+				b.ReportMetric(res.KOPS, "kops")
+				b.ReportMetric(res.WA, "wa")
+				b.ReportMetric(res.RA, "ra")
+			}
+		})
+	}
+}
+
+// BenchmarkAutoTuneHotFraction compares a badly sized fixed hot budget
+// against the hill-climbing tuner (§4.1 future work) on a 10%-hot skew.
+func BenchmarkAutoTuneHotFraction(b *testing.B) {
+	s := benchScale()
+	dist := workload.HotCold{N: s.Keys, HotFraction: 0.10, HotAccess: 0.90}
+	for _, v := range []struct {
+		name string
+		auto bool
+	}{{"fixed-bad", false}, {"auto-tuned", true}} {
+		b.Run(v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := runCustom(b, s, dist, 0.1, func(o *lsm.Options) {
+					o.TriadMem = true
+					o.HotPolicy = 0 // HotTopK, the budgeted policy
+					o.HotFraction = 0.002
+					o.AutoTuneHotFraction = v.auto
+				})
+				b.ReportMetric(res.WA, "wa")
+				b.ReportMetric(res.FlushedMB, "flushedMB")
+			}
+		})
+	}
+}
+
+// BenchmarkFig10Device is the SSD-latency-model variant of Figure 10
+// (see EXPERIMENTS.md on why TRIAD-LOG needs charged I/O to shine).
+func BenchmarkFig10Device(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		cells, err := harness.Fig10Device(s, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range cells {
+			switch c.Label {
+			case "TRIAD-LOG":
+				b.ReportMetric(c.Res.KOPS, "log_kops")
+			case "RocksDB":
+				b.ReportMetric(c.Res.KOPS, "base_kops")
+			case "TRIAD":
+				b.ReportMetric(c.Res.KOPS, "triad_kops")
+			}
+		}
+	}
+}
+
+// --- Micro-benchmarks for the public API ---
+
+// BenchmarkPut measures the raw write path (WAL append + memtable).
+func BenchmarkPut(b *testing.B) {
+	for _, mode := range []string{"baseline", "triad"} {
+		b.Run(mode, func(b *testing.B) {
+			fs := vfs.NewMemFS()
+			profile := ProfileTriad
+			if mode == "baseline" {
+				profile = ProfileBaseline
+			}
+			db, err := Open(Options{FS: fs, Profile: profile})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			key := make([]byte, 8)
+			val := make([]byte, 255)
+			b.SetBytes(263)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				workload.EncodeKey(key, uint64(i%100_000))
+				if err := db.Put(key, val); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGet measures point lookups over a settled multi-level tree.
+func BenchmarkGet(b *testing.B) {
+	for _, mode := range []string{"baseline", "triad"} {
+		b.Run(mode, func(b *testing.B) {
+			fs := vfs.NewMemFS()
+			profile := ProfileTriad
+			if mode == "baseline" {
+				profile = ProfileBaseline
+			}
+			db, err := Open(Options{FS: fs, Profile: profile, MemtableBytes: 512 << 10})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			key := make([]byte, 8)
+			val := make([]byte, 255)
+			const n = 50_000
+			for i := uint64(0); i < n; i++ {
+				workload.EncodeKey(key, i)
+				if err := db.Put(key, val); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := db.Flush(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				workload.EncodeKey(key, uint64(i)%n)
+				if _, err := db.Get(key); err != nil && !errors.Is(err, ErrNotFound) {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- helpers ---
+
+func runOne(b *testing.B, s harness.Scale, mode string, dist workload.KeyDist, readFrac float64, threads int) harness.Result {
+	b.Helper()
+	return runCustom(b, s, dist, readFrac, func(o *lsm.Options) {
+		switch mode {
+		case "triad":
+			o.TriadMem, o.TriadDisk, o.TriadLog = true, true, true
+		}
+	}, threads)
+}
+
+func runCustom(b *testing.B, s harness.Scale, dist workload.KeyDist, readFrac float64, tweak func(*lsm.Options), threadsOpt ...int) harness.Result {
+	b.Helper()
+	threads := s.Threads
+	if len(threadsOpt) > 0 {
+		threads = threadsOpt[0]
+	}
+	o := lsm.DefaultOptions(nil)
+	o.MemtableBytes = s.MemtableBytes
+	o.CommitLogBytes = 4 * s.MemtableBytes
+	o.FlushThresholdBytes = s.MemtableBytes / 2
+	o.BaseLevelBytes = 8 * s.MemtableBytes
+	o.TargetFileBytes = s.MemtableBytes
+	o.HotPolicy = HotAboveMean
+	tweak(&o)
+	res, err := harness.Run(harness.Spec{
+		Name:                "bench",
+		Engine:              o,
+		Mix:                 workload.Mix{Dist: dist, ReadFraction: readFrac},
+		Threads:             threads,
+		Ops:                 s.Ops,
+		PrepopulateFraction: 0.5,
+		Seed:                1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+func contains(s, sub string) bool { return strings.Contains(s, sub) }

@@ -1,0 +1,110 @@
+// Command triadbench regenerates the tables and figures of the TRIAD
+// paper's evaluation (§5) against this reproduction.
+//
+// Usage:
+//
+//	triadbench -experiment fig9a            # one figure, quick scale
+//	triadbench -experiment all -scale full  # everything, paper-like scale
+//
+// Experiments: fig2, fig7, fig8, fig9a, fig9b (includes 9c), fig9d,
+// fig10, fig11, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		exp     = flag.String("experiment", "all", "which figure to regenerate: fig2|fig7|fig8|fig9a|fig9b|fig9c|fig9d|fig10|fig11|fig10dev|sizetiered|all")
+		scale   = flag.String("scale", "quick", "quick (seconds per figure) or full (paper-like sizes)")
+		keys    = flag.Uint64("keys", 0, "override synthetic key-space size")
+		ops     = flag.Int64("ops", 0, "override timed operation count per run")
+		threads = flag.Int("threads", 0, "override worker count for fixed-thread figures")
+	)
+	flag.Parse()
+
+	var s harness.Scale
+	switch *scale {
+	case "quick":
+		s = harness.QuickScale()
+	case "full":
+		s = harness.FullScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	if *keys > 0 {
+		s.Keys = *keys
+	}
+	if *ops > 0 {
+		s.Ops = *ops
+		s.ProdOps = *ops
+	}
+	if *threads > 0 {
+		s.Threads = *threads
+	}
+
+	run := func(name string, fn func() error) {
+		start := time.Now()
+		fmt.Printf("=== %s ===\n", name)
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s in %.1fs)\n\n", name, time.Since(start).Seconds())
+	}
+
+	want := func(name string) bool { return *exp == "all" || strings.EqualFold(*exp, name) }
+	any := false
+	if want("fig2") {
+		any = true
+		run("fig2", func() error { _, err := harness.Fig2(s, os.Stdout); return err })
+	}
+	if want("fig7") {
+		any = true
+		run("fig7", func() error { return harness.Fig7(s, os.Stdout) })
+	}
+	if want("fig8") {
+		any = true
+		run("fig8", func() error { return harness.Fig8(s, os.Stdout) })
+	}
+	if want("fig9a") {
+		any = true
+		run("fig9a", func() error { _, err := harness.Fig9A(s, os.Stdout); return err })
+	}
+	if want("fig9b") || want("fig9c") {
+		any = true
+		run("fig9b/9c", func() error { _, err := harness.Fig9BC(s, os.Stdout); return err })
+	}
+	if want("fig9d") {
+		any = true
+		run("fig9d", func() error { _, err := harness.Fig9D(s, os.Stdout); return err })
+	}
+	if want("fig10") {
+		any = true
+		run("fig10", func() error { _, err := harness.Fig10(s, os.Stdout); return err })
+	}
+	if want("fig11") {
+		any = true
+		run("fig11", func() error { _, err := harness.Fig11(s, os.Stdout); return err })
+	}
+	if want("fig10dev") {
+		any = true
+		run("fig10dev", func() error { _, err := harness.Fig10Device(s, os.Stdout); return err })
+	}
+	if want("sizetiered") {
+		any = true
+		run("sizetiered", func() error { _, err := harness.SizeTiered(s, os.Stdout); return err })
+	}
+	if !any {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

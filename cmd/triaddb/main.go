@@ -1,0 +1,124 @@
+// Command triaddb is a minimal CLI over the public triad API, operating
+// on a durable store in a directory.
+//
+// Usage:
+//
+//	triaddb -dir /tmp/db put <key> <value>
+//	triaddb -dir /tmp/db get <key>
+//	triaddb -dir /tmp/db del <key>
+//	triaddb -dir /tmp/db scan [start [limit]]
+//	triaddb -dir /tmp/db stats
+//	triaddb -dir /tmp/db bench -n 100000
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	triad "repro"
+	"repro/internal/vfs"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		dir      = flag.String("dir", "triaddb-data", "database directory")
+		baseline = flag.Bool("baseline", false, "use the RocksDB-like baseline profile instead of TRIAD")
+	)
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: triaddb [-dir DIR] [-baseline] put|get|del|scan|stats|bench ...")
+		os.Exit(2)
+	}
+
+	fs, err := vfs.NewOSFS(*dir)
+	fatalIf(err)
+	profile := triad.ProfileTriad
+	if *baseline {
+		profile = triad.ProfileBaseline
+	}
+	db, err := triad.Open(triad.Options{FS: fs, Profile: profile})
+	fatalIf(err)
+	defer func() { fatalIf(db.Close()) }()
+
+	switch args[0] {
+	case "put":
+		need(args, 3, "put <key> <value>")
+		fatalIf(db.Put([]byte(args[1]), []byte(args[2])))
+	case "get":
+		need(args, 2, "get <key>")
+		v, err := db.Get([]byte(args[1]))
+		if errors.Is(err, triad.ErrNotFound) {
+			fmt.Println("(not found)")
+			return
+		}
+		fatalIf(err)
+		fmt.Println(string(v))
+	case "del":
+		need(args, 2, "del <key>")
+		fatalIf(db.Delete([]byte(args[1])))
+	case "scan":
+		var start, limit []byte
+		if len(args) > 1 {
+			start = []byte(args[1])
+		}
+		if len(args) > 2 {
+			limit = []byte(args[2])
+		}
+		it, err := db.NewIterator(start, limit)
+		fatalIf(err)
+		for it.Next() {
+			fmt.Printf("%s = %s\n", it.Key(), it.Value())
+		}
+	case "stats":
+		m := db.Metrics()
+		fmt.Printf("level files: %v\n", db.NumLevelFiles())
+		fmt.Printf("flushes: %d (skipped: %d)  compactions: %d (deferred: %d)\n",
+			m.Flushes, m.FlushSkips, m.Compactions, m.CompactionsDeferred)
+		fmt.Printf("bytes: logged %d  flushed %d  compacted %d\n",
+			m.BytesLogged, m.BytesFlushed, m.BytesCompacted)
+		fmt.Printf("WA: %.2f  RA: %.2f\n", m.WriteAmplification(), m.ReadAmplification())
+	case "bench":
+		fsBench := flag.NewFlagSet("bench", flag.ExitOnError)
+		n := fsBench.Int64("n", 100_000, "operations")
+		keys := fsBench.Uint64("keys", 50_000, "key-space size")
+		reads := fsBench.Float64("reads", 0.1, "read fraction")
+		fatalIf(fsBench.Parse(args[1:]))
+		mix := workload.Mix{Dist: workload.HotCold{N: *keys, HotFraction: 0.01, HotAccess: 0.99}, ReadFraction: *reads}
+		stream := mix.NewStream(1)
+		start := time.Now()
+		for i := int64(0); i < *n; i++ {
+			op := stream.Next()
+			if op.Read {
+				if _, err := db.Get(op.Key); err != nil && !errors.Is(err, triad.ErrNotFound) {
+					fatalIf(err)
+				}
+			} else {
+				fatalIf(db.Put(op.Key, op.Value))
+			}
+		}
+		el := time.Since(start)
+		fmt.Printf("%d ops in %s = %.1f KOPS\n", *n, el.Round(time.Millisecond), float64(*n)/el.Seconds()/1000)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown command %q\n", args[0])
+		os.Exit(2)
+	}
+}
+
+func need(args []string, n int, usage string) {
+	if len(args) < n {
+		fmt.Fprintf(os.Stderr, "usage: triaddb %s\n", usage)
+		os.Exit(2)
+	}
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "triaddb:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,78 @@
+package base
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	if KindSet.String() != "set" || KindDelete.String() != "del" {
+		t.Fatal("kind strings wrong")
+	}
+	if Kind(9).String() != "kind(9)" {
+		t.Fatalf("unknown kind = %s", Kind(9))
+	}
+}
+
+func TestCompare(t *testing.T) {
+	a := Entry{Key: []byte("a"), Seq: 1}
+	b := Entry{Key: []byte("b"), Seq: 1}
+	if Compare(a, b) >= 0 || Compare(b, a) <= 0 {
+		t.Fatal("key ordering wrong")
+	}
+	newer := Entry{Key: []byte("a"), Seq: 9}
+	older := Entry{Key: []byte("a"), Seq: 2}
+	if Compare(newer, older) >= 0 {
+		t.Fatal("newer version must order before older")
+	}
+	if Compare(a, a) != 0 {
+		t.Fatal("equal entries must compare 0")
+	}
+}
+
+func TestSize(t *testing.T) {
+	e := Entry{Key: []byte("abc"), Value: []byte("12345")}
+	if e.Size() != 8 {
+		t.Fatalf("Size = %d, want 8", e.Size())
+	}
+	if (Entry{Key: []byte("k")}).Size() != 1 {
+		t.Fatal("tombstone size wrong")
+	}
+}
+
+func TestClone(t *testing.T) {
+	e := Entry{Key: []byte("k"), Value: []byte("v"), Seq: 3, Kind: KindSet}
+	c := e.Clone()
+	e.Key[0] = 'x'
+	e.Value[0] = 'y'
+	if string(c.Key) != "k" || string(c.Value) != "v" {
+		t.Fatal("Clone aliases the original buffers")
+	}
+	// nil value stays nil (tombstone invariant).
+	d := Entry{Key: []byte("k"), Kind: KindDelete}.Clone()
+	if d.Value != nil {
+		t.Fatal("Clone materialized a nil value")
+	}
+}
+
+// TestQuickCompareIsStrictWeakOrder: antisymmetry and transitivity over
+// random entries.
+func TestQuickCompareIsStrictWeakOrder(t *testing.T) {
+	mk := func(k uint8, seq uint8) Entry {
+		return Entry{Key: []byte{k % 4}, Seq: uint64(seq % 4)}
+	}
+	anti := func(a, b, c uint8, s1, s2, s3 uint8) bool {
+		x, y, z := mk(a, s1), mk(b, s2), mk(c, s3)
+		if Compare(x, y) != -Compare(y, x) {
+			return false
+		}
+		// transitivity
+		if Compare(x, y) < 0 && Compare(y, z) < 0 && Compare(x, z) >= 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(anti, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

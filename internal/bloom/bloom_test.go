@@ -1,0 +1,121 @@
+package bloom
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	var b Builder
+	n := 10000
+	for i := 0; i < n; i++ {
+		b.Add([]byte(fmt.Sprintf("key-%d", i)))
+	}
+	f := b.Build(10)
+	for i := 0; i < n; i++ {
+		if !f.MayContain([]byte(fmt.Sprintf("key-%d", i))) {
+			t.Fatalf("false negative for key-%d", i)
+		}
+	}
+}
+
+func TestFalsePositiveRate(t *testing.T) {
+	var b Builder
+	n := 10000
+	for i := 0; i < n; i++ {
+		b.Add([]byte(fmt.Sprintf("key-%d", i)))
+	}
+	f := b.Build(10)
+	fp := 0
+	probes := 100000
+	for i := 0; i < probes; i++ {
+		if f.MayContain([]byte(fmt.Sprintf("absent-%d", i))) {
+			fp++
+		}
+	}
+	rate := float64(fp) / float64(probes)
+	// 10 bits/key gives ~1%; allow 2.5%.
+	if rate > 0.025 {
+		t.Fatalf("false positive rate %.4f > 0.025", rate)
+	}
+}
+
+func TestEmptyFilter(t *testing.T) {
+	var b Builder
+	f := b.Build(10)
+	if f.MayContain([]byte("anything")) {
+		t.Fatal("empty filter claimed to contain a key")
+	}
+}
+
+func TestSmallBitsPerKey(t *testing.T) {
+	var b Builder
+	b.Add([]byte("a"))
+	f := b.Build(0) // clamped to 1
+	if !f.MayContain([]byte("a")) {
+		t.Fatal("false negative with clamped bits/key")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	var b Builder
+	for i := 0; i < 1000; i++ {
+		b.Add([]byte(fmt.Sprintf("key-%d", i)))
+	}
+	f := b.Build(10)
+	got, err := Unmarshal(f.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if !got.MayContain([]byte(fmt.Sprintf("key-%d", i))) {
+			t.Fatalf("false negative after round trip for key-%d", i)
+		}
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal(nil); err == nil {
+		t.Error("Unmarshal(nil) succeeded")
+	}
+	if _, err := Unmarshal([]byte{0, 0, 0, 0, 1}); err == nil {
+		t.Error("Unmarshal with k=0 succeeded")
+	}
+	if _, err := Unmarshal([]byte{200, 0, 0, 0, 1}); err == nil {
+		t.Error("Unmarshal with k=200 succeeded")
+	}
+}
+
+// TestQuickMembership: anything added is always reported present, across
+// random key sets and bits/key settings.
+func TestQuickMembership(t *testing.T) {
+	check := func(keys [][]byte, bitsPerKey uint8) bool {
+		var b Builder
+		for _, k := range keys {
+			b.Add(k)
+		}
+		f := b.Build(int(bitsPerKey%20) + 1)
+		for _, k := range keys {
+			if !f.MayContain(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMayContain(b *testing.B) {
+	var bld Builder
+	for i := 0; i < 100000; i++ {
+		bld.Add([]byte(fmt.Sprintf("key-%d", i)))
+	}
+	f := bld.Build(10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.MayContain([]byte("key-50000"))
+	}
+}

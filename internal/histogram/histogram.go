@@ -1,0 +1,162 @@
+// Package histogram provides a fixed-memory log-linear latency histogram
+// (HdrHistogram-style): values are bucketed by power-of-two magnitude with
+// a fixed number of linear sub-buckets per magnitude, giving a bounded
+// relative error (~1/subBuckets) over the full range of durations, with
+// O(1) record cost and mergeability across worker threads.
+package histogram
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+	"time"
+)
+
+const (
+	// subBucketBits controls resolution: 2^subBucketBits linear
+	// sub-buckets per power of two ⇒ ≤ ~1.6% relative error.
+	subBucketBits = 6
+	subBuckets    = 1 << subBucketBits
+	// magnitudes covers 1ns .. ~2.3h.
+	magnitudes = 43
+)
+
+// H is a latency histogram. The zero value is ready to use. It is not
+// safe for concurrent use; give each worker its own and Merge.
+type H struct {
+	counts [magnitudes * subBuckets]uint64
+	total  uint64
+	min    time.Duration
+	max    time.Duration
+}
+
+func bucketOf(d time.Duration) int {
+	v := uint64(d)
+	if v == 0 {
+		v = 1
+	}
+	mag := bits.Len64(v) - 1
+	var sub uint64
+	if mag < subBucketBits {
+		// Small values index linearly within the first magnitudes.
+		return int(v)
+	}
+	sub = (v >> (uint(mag) - subBucketBits)) & (subBuckets - 1)
+	idx := mag*subBuckets + int(sub)
+	if idx >= len(([magnitudes * subBuckets]uint64{})) {
+		idx = magnitudes*subBuckets - 1
+	}
+	return idx
+}
+
+// bucketMid returns a representative duration for bucket i (upper edge).
+func bucketMid(i int) time.Duration {
+	if i < subBuckets {
+		return time.Duration(i)
+	}
+	mag := i / subBuckets
+	sub := i % subBuckets
+	base := uint64(1) << uint(mag)
+	step := base >> subBucketBits
+	return time.Duration(base + uint64(sub)*step + step/2)
+}
+
+// Record adds one observation.
+func (h *H) Record(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.counts[bucketOf(d)]++
+	h.total++
+	if h.total == 1 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// Count reports the number of observations.
+func (h *H) Count() uint64 { return h.total }
+
+// Min and Max report the exact observed extremes.
+func (h *H) Min() time.Duration { return h.min }
+
+// Max reports the largest observation.
+func (h *H) Max() time.Duration { return h.max }
+
+// Merge folds other into h.
+func (h *H) Merge(other *H) {
+	if other.total == 0 {
+		return
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	if h.total == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	h.total += other.total
+}
+
+// Quantile returns the approximate q-quantile (0 ≤ q ≤ 1).
+func (h *H) Quantile(q float64) time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	target := uint64(q * float64(h.total))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= target {
+			d := bucketMid(i)
+			if d < h.min {
+				d = h.min
+			}
+			if d > h.max {
+				d = h.max
+			}
+			return d
+		}
+	}
+	return h.max
+}
+
+// Mean returns the approximate mean.
+func (h *H) Mean() time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	var sum float64
+	for i, c := range h.counts {
+		if c > 0 {
+			sum += float64(bucketMid(i)) * float64(c)
+		}
+	}
+	return time.Duration(sum / float64(h.total))
+}
+
+// String renders a compact summary.
+func (h *H) String() string {
+	if h.total == 0 {
+		return "histogram: empty"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d min=%s p50=%s p90=%s p99=%s p99.9=%s max=%s mean=%s",
+		h.total, h.min,
+		h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99), h.Quantile(0.999),
+		h.max, h.Mean())
+	return b.String()
+}

@@ -1,0 +1,145 @@
+package histogram
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEmpty(t *testing.T) {
+	var h H
+	if h.Count() != 0 || h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+	if h.String() != "histogram: empty" {
+		t.Fatalf("String = %q", h.String())
+	}
+}
+
+func TestSingleValue(t *testing.T) {
+	var h H
+	h.Record(42 * time.Microsecond)
+	if h.Count() != 1 {
+		t.Fatal("count")
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		got := h.Quantile(q)
+		if got != 42*time.Microsecond {
+			// Bucketing error is bounded by min/max clamping.
+			t.Fatalf("Quantile(%v) = %v", q, got)
+		}
+	}
+}
+
+func TestQuantileAccuracy(t *testing.T) {
+	var h H
+	rng := rand.New(rand.NewSource(1))
+	var exact []time.Duration
+	for i := 0; i < 100000; i++ {
+		// Log-uniform from 100ns to 100ms — a latency-like shape.
+		d := time.Duration(math.Exp(rng.Float64()*math.Log(1e6)) * 100)
+		h.Record(d)
+		exact = append(exact, d)
+	}
+	sort.Slice(exact, func(i, j int) bool { return exact[i] < exact[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		want := exact[int(q*float64(len(exact)))]
+		got := h.Quantile(q)
+		relErr := math.Abs(float64(got-want)) / float64(want)
+		if relErr > 0.05 {
+			t.Errorf("q=%v: got %v, exact %v (err %.3f)", q, got, want, relErr)
+		}
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	var h H
+	h.Record(5 * time.Millisecond)
+	h.Record(time.Microsecond)
+	h.Record(time.Second)
+	if h.Min() != time.Microsecond || h.Max() != time.Second {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+	if h.Quantile(0) != time.Microsecond || h.Quantile(1) != time.Second {
+		t.Fatal("extreme quantiles not clamped to observed extremes")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	var a, b H
+	for i := 1; i <= 1000; i++ {
+		a.Record(time.Duration(i) * time.Microsecond)
+	}
+	for i := 1001; i <= 2000; i++ {
+		b.Record(time.Duration(i) * time.Microsecond)
+	}
+	a.Merge(&b)
+	if a.Count() != 2000 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	p50 := a.Quantile(0.5)
+	if p50 < 900*time.Microsecond || p50 > 1100*time.Microsecond {
+		t.Fatalf("merged p50 = %v, want ≈1ms", p50)
+	}
+	// Merging an empty histogram is a no-op.
+	var empty H
+	c := a.Count()
+	a.Merge(&empty)
+	if a.Count() != c {
+		t.Fatal("empty merge changed count")
+	}
+}
+
+func TestNegativeClamped(t *testing.T) {
+	var h H
+	h.Record(-5)
+	if h.Count() != 1 || h.Max() != 0 {
+		t.Fatalf("negative record: count=%d max=%v", h.Count(), h.Max())
+	}
+}
+
+func TestHugeValue(t *testing.T) {
+	var h H
+	h.Record(10 * time.Hour) // beyond the top magnitude; must not panic
+	if h.Count() != 1 {
+		t.Fatal("huge value lost")
+	}
+}
+
+// TestQuickQuantileWithinRelativeError: for arbitrary positive values the
+// recorded quantile of a single observation stays within the bucketing
+// error bound.
+func TestQuickQuantileWithinRelativeError(t *testing.T) {
+	check := func(v uint32) bool {
+		d := time.Duration(v) + 1
+		var h H
+		h.Record(d)
+		got := h.Quantile(0.5)
+		relErr := math.Abs(float64(got-d)) / float64(d)
+		return relErr <= 1.0/subBuckets+0.001
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMonotoneBuckets(t *testing.T) {
+	prev := -1
+	for d := time.Duration(1); d < time.Minute; d *= 3 {
+		b := bucketOf(d)
+		if b < prev {
+			t.Fatalf("bucketOf not monotone at %v: %d < %d", d, b, prev)
+		}
+		prev = b
+	}
+}
+
+func BenchmarkRecord(b *testing.B) {
+	var h H
+	for i := 0; i < b.N; i++ {
+		h.Record(time.Duration(i%1000000) * time.Nanosecond)
+	}
+}

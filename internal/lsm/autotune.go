@@ -1,0 +1,85 @@
+package lsm
+
+import (
+	"repro/internal/memtable"
+)
+
+// Hot-set auto-tuning (paper §4.1): "Ideally, K should be high enough to
+// accommodate all the hot keys, but low enough to avoid a high memory
+// overhead ... We are also currently investigating techniques to
+// automatically set K depending on the runtime workload, for example by
+// means of hill climbing."
+//
+// This implements that future-work feature. After every TRIAD-MEM
+// separation the tuner inspects two signals:
+//
+//   - misses: cold (flushed) entries that were updated more than once —
+//     hot keys that did not fit in the budget. Many misses ⇒ K too small.
+//   - slack: the budget minus the hot keys actually found. Persistent
+//     slack ⇒ K larger than the workload's hot set, costing memory and
+//     write-back for nothing.
+//
+// The fraction is nudged multiplicatively toward whichever signal
+// dominates and clamped to [minHotFraction, maxHotFraction]; a dead band
+// keeps it stable on stationary workloads (plain hill climbing on the
+// miss rate with a fixed step).
+const (
+	minHotFraction = 0.001
+	maxHotFraction = 0.60
+	// missTolerance is the accepted fraction of multi-update entries in
+	// the flushed cold set before the budget grows.
+	missTolerance = 0.02
+	// slackTolerance is the accepted unused fraction of the hot budget
+	// before it shrinks.
+	slackTolerance = 0.50
+	// tuneStep is the multiplicative hill-climbing step.
+	tuneStep = 1.25
+)
+
+// currentHotFraction reads the live (possibly auto-tuned) hot budget.
+func (db *DB) currentHotFraction() float64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.hotFrac == 0 {
+		db.hotFrac = db.opts.HotFraction
+	}
+	return db.hotFrac
+}
+
+// HotFraction reports the live TRIAD-MEM hot budget (equal to
+// Options.HotFraction unless AutoTuneHotFraction has adjusted it).
+func (db *DB) HotFraction() float64 { return db.currentHotFraction() }
+
+// autoTuneHot adjusts the hot budget after one separation. total is the
+// sealed memtable's entry count.
+func (db *DB) autoTuneHot(sep memtable.Separation, total int) {
+	if !db.opts.AutoTuneHotFraction || total == 0 {
+		return
+	}
+	multiUpdateCold := 0
+	for _, e := range sep.Cold {
+		if e.Updates > 1 {
+			multiUpdateCold++
+		}
+	}
+	missRate := 0.0
+	if len(sep.Cold) > 0 {
+		missRate = float64(multiUpdateCold) / float64(len(sep.Cold))
+	}
+	budget := int(db.currentHotFraction() * float64(total))
+
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	switch {
+	case missRate > missTolerance:
+		db.hotFrac *= tuneStep
+		if db.hotFrac > maxHotFraction {
+			db.hotFrac = maxHotFraction
+		}
+	case budget > 0 && float64(len(sep.Hot)) < (1-slackTolerance)*float64(budget):
+		db.hotFrac /= tuneStep
+		if db.hotFrac < minHotFraction {
+			db.hotFrac = minHotFraction
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package lsm
+
+import (
+	"testing"
+
+	"repro/internal/vfs"
+	"repro/internal/workload"
+)
+
+// TestAutoTuneGrowsUnderSkew: starting with an undersized hot budget on a
+// workload whose hot set is 10% of keys, the tuner must raise the budget.
+func TestAutoTuneGrowsUnderSkew(t *testing.T) {
+	fs := vfs.NewMemFS()
+	o := smallOptions(fs)
+	o.TriadMem = true
+	o.HotPolicy = 0 // HotTopK: budget-driven, the policy K tunes
+	o.HotFraction = 0.005
+	o.AutoTuneHotFraction = true
+	db := mustOpen(t, o)
+	defer db.Close()
+
+	dist := workload.HotCold{N: 2000, HotFraction: 0.10, HotAccess: 0.95}
+	drive(t, db, dist, 40000, 0, 11)
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got := db.HotFraction()
+	if got <= o.HotFraction {
+		t.Fatalf("hot fraction did not grow: %.4f <= %.4f", got, o.HotFraction)
+	}
+	if got > 0.60 {
+		t.Fatalf("hot fraction exceeded cap: %.4f", got)
+	}
+}
+
+// TestAutoTuneShrinksOnUniform: an oversized budget on a uniform workload
+// (no hot keys at all) must shrink toward the floor.
+func TestAutoTuneShrinksOnUniform(t *testing.T) {
+	fs := vfs.NewMemFS()
+	o := smallOptions(fs)
+	o.TriadMem = true
+	o.HotPolicy = 0
+	o.HotFraction = 0.40
+	o.AutoTuneHotFraction = true
+	db := mustOpen(t, o)
+	defer db.Close()
+
+	drive(t, db, workload.Uniform{N: 50_000}, 40000, 0, 12)
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got := db.HotFraction()
+	if got >= o.HotFraction {
+		t.Fatalf("hot fraction did not shrink: %.4f >= %.4f", got, o.HotFraction)
+	}
+}
+
+// TestAutoTuneDisabledStaysPut: without the toggle the fraction is fixed.
+func TestAutoTuneDisabledStaysPut(t *testing.T) {
+	fs := vfs.NewMemFS()
+	o := smallOptions(fs)
+	o.TriadMem = true
+	o.HotFraction = 0.05
+	db := mustOpen(t, o)
+	defer db.Close()
+	drive(t, db, skewed(2000), 20000, 0, 13)
+	db.Flush()
+	if got := db.HotFraction(); got != 0.05 {
+		t.Fatalf("hot fraction moved without auto-tune: %.4f", got)
+	}
+}
+
+// TestAutoTuneReducesFlushedBytes: end to end, the tuner should recover
+// most of the benefit of a hand-tuned budget when starting from a bad one.
+func TestAutoTuneReducesFlushedBytes(t *testing.T) {
+	run := func(autotune bool, hotFrac float64) int64 {
+		fs := vfs.NewMemFS()
+		o := smallOptions(fs)
+		o.TriadMem = true
+		o.HotPolicy = 0
+		o.HotFraction = hotFrac
+		o.AutoTuneHotFraction = autotune
+		db := mustOpen(t, o)
+		defer db.Close()
+		dist := workload.HotCold{N: 2000, HotFraction: 0.10, HotAccess: 0.95}
+		drive(t, db, dist, 60000, 0, 14)
+		db.Flush()
+		return db.Metrics().BytesFlushed
+	}
+	badFixed := run(false, 0.005)
+	tuned := run(true, 0.005)
+	if tuned >= badFixed {
+		t.Fatalf("auto-tune did not cut flushed bytes: tuned %d >= fixed %d", tuned, badFixed)
+	}
+	t.Logf("flushed bytes: fixed-bad=%d tuned=%d", badFixed, tuned)
+}
+
+func TestAutoTuneSurvivesManyFlushes(t *testing.T) {
+	fs := vfs.NewMemFS()
+	o := smallOptions(fs)
+	o.TriadMem = true
+	o.HotPolicy = 0
+	o.HotFraction = 0.01
+	o.AutoTuneHotFraction = true
+	db := mustOpen(t, o)
+	defer db.Close()
+	// Alternate skew phases; the fraction must stay within bounds.
+	for phase := 0; phase < 4; phase++ {
+		var dist workload.KeyDist = workload.Uniform{N: 20_000}
+		if phase%2 == 0 {
+			dist = workload.HotCold{N: 2000, HotFraction: 0.05, HotAccess: 0.95}
+		}
+		drive(t, db, dist, 15000, 0, int64(20+phase))
+		db.Flush()
+		hf := db.HotFraction()
+		if hf < 0.001-1e-9 || hf > 0.60+1e-9 {
+			t.Fatalf("phase %d: hot fraction out of bounds: %f", phase, hf)
+		}
+	}
+}

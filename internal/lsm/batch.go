@@ -1,0 +1,90 @@
+package lsm
+
+import (
+	"errors"
+
+	"repro/internal/base"
+)
+
+// Batch collects writes to be applied together. Application is atomic
+// with respect to concurrent readers and writers (all records receive
+// consecutive sequence numbers under one critical section). Recovery
+// atomicity follows WAL semantics: only a torn tail — the final records
+// of the log — can be lost, so a crash can truncate the batch's suffix
+// but never interleave it with other writes.
+type Batch struct {
+	ops       []base.Entry
+	byteSize  int64
+	committed bool
+}
+
+// Put queues a key/value write.
+func (b *Batch) Put(key, value []byte) {
+	e := base.Entry{
+		Key:  append([]byte(nil), key...),
+		Kind: base.KindSet,
+	}
+	if value != nil {
+		e.Value = append([]byte(nil), value...)
+	}
+	b.ops = append(b.ops, e)
+	b.byteSize += e.Size()
+}
+
+// Delete queues a tombstone.
+func (b *Batch) Delete(key []byte) {
+	e := base.Entry{Key: append([]byte(nil), key...), Kind: base.KindDelete}
+	b.ops = append(b.ops, e)
+	b.byteSize += e.Size()
+}
+
+// Len reports the number of queued operations.
+func (b *Batch) Len() int { return len(b.ops) }
+
+// Bytes reports the queued payload size.
+func (b *Batch) Bytes() int64 { return b.byteSize }
+
+// Reset clears the batch for reuse.
+func (b *Batch) Reset() {
+	b.ops = b.ops[:0]
+	b.byteSize = 0
+	b.committed = false
+}
+
+// Apply commits the batch. The batch may be Reset and reused afterwards.
+func (db *DB) Apply(b *Batch) error {
+	if b.committed {
+		return errors.New("lsm: batch already applied (Reset to reuse)")
+	}
+	for _, e := range b.ops {
+		if len(e.Key) == 0 {
+			return errors.New("lsm: empty key in batch")
+		}
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	if db.bgErr != nil {
+		return db.bgErr
+	}
+	if err := db.stallLocked(); err != nil {
+		return err
+	}
+	for i := range b.ops {
+		e := &b.ops[i]
+		db.seq++
+		rec := base.Entry{Key: e.Key, Value: e.Value, Seq: db.seq, Kind: e.Kind}
+		off, n, err := db.log.Append(rec)
+		if err != nil {
+			return err
+		}
+		db.met.BytesLogged.Add(int64(n))
+		db.mem.Set(e.Key, e.Value, rec.Seq, e.Kind, db.log.ID(), off)
+		db.met.UserWrites.Add(1)
+		db.met.UserBytes.Add(rec.Size())
+	}
+	b.committed = true
+	return db.maybeRotateLocked()
+}

@@ -1,0 +1,313 @@
+package lsm
+
+import (
+	"time"
+
+	"repro/internal/compaction"
+	"repro/internal/hll"
+	"repro/internal/manifest"
+	"repro/internal/sstable"
+	"repro/internal/wal"
+)
+
+// compactLoop runs compactions until the tree is in shape or TRIAD-DISK
+// defers (paper §4.2: "If the L0 and L1 SSTables do not have enough key
+// overlap, compaction is delayed until more L0 SSTables are generated").
+func (db *DB) compactLoop() error {
+	for {
+		db.mu.Lock()
+		closed := db.closed
+		db.mu.Unlock()
+		if closed {
+			return nil
+		}
+		ran, err := db.compactOnceLocked(false)
+		if err != nil || !ran {
+			return err
+		}
+	}
+}
+
+// compactOnceLocked picks and runs one compaction under compactionMu.
+// force bypasses a TRIAD-DISK deferral by merging whatever L0 holds.
+func (db *DB) compactOnceLocked(force bool) (bool, error) {
+	db.compactionMu.Lock()
+	defer db.compactionMu.Unlock()
+	db.versionMu.RLock()
+	job := db.picker.Pick(db.version, func(f *manifest.FileMeta) *hll.Sketch {
+		if t, ok := db.tables[f.ID]; ok {
+			return t.Sketch()
+		}
+		return nil
+	})
+	db.versionMu.RUnlock()
+	if job == nil {
+		return false, nil
+	}
+	if job.Deferred {
+		db.met.CompactionsDefer.Add(1)
+		if !force {
+			return false, nil
+		}
+		db.versionMu.RLock()
+		l0 := append([]*manifest.FileMeta(nil), db.version.Levels[0]...)
+		if db.opts.SizeTieredCompaction {
+			job = &compaction.Job{Level: 0, OutputLevel: 0, Inputs: l0, WholeTree: true}
+		} else {
+			lo, hi := compaction.KeyRangeOf(l0)
+			job = &compaction.Job{Level: 0, OutputLevel: 1, Inputs: l0, Overlaps: db.version.Overlapping(1, lo, hi)}
+		}
+		db.versionMu.RUnlock()
+	}
+	return true, db.runCompaction(job)
+}
+
+// CompactOnce runs at most one compaction synchronously and reports
+// whether one ran (false also when TRIAD-DISK deferred). For tests and
+// the tuning example; normal operation compacts in the background.
+func (db *DB) CompactOnce() (bool, error) {
+	return db.compactOnceLocked(false)
+}
+
+// CompactAll drains all pending compactions synchronously, ignoring
+// TRIAD-DISK deferral (used to settle the tree before measurements).
+func (db *DB) CompactAll() error {
+	for {
+		ran, err := db.compactOnceLocked(true)
+		if err != nil || !ran {
+			return err
+		}
+	}
+}
+
+// runCompaction merges job.Inputs (level L) with job.Overlaps (level L+1)
+// into fresh tables at L+1, discarding stale versions — and, with
+// TRIAD-MEM, versions of keys currently held hot in the memtable (§4.3:
+// "during compaction, the hot keys are skipped, similarly to the duplicate
+// updates"; safe because the memtable version is strictly newer and is
+// durable in the current commit log).
+func (db *DB) runCompaction(job *compaction.Job) error {
+	start := time.Now()
+	defer func() { db.met.CompactionNanos.Add(time.Since(start).Nanoseconds()) }()
+	db.met.Compactions.Add(1)
+
+	outLevel := job.OutputLevel
+	if outLevel < job.Level {
+		outLevel = job.Level + 1
+	}
+	all := append(append([]*manifest.FileMeta(nil), job.Inputs...), job.Overlaps...)
+
+	// Open iterators newest-first: L0 inputs are already newest-first in
+	// the version; the next level's files are strictly older.
+	db.versionMu.RLock()
+	its := make([]sstable.Iterator, 0, len(all))
+	for _, f := range all {
+		t, ok := db.tables[f.ID]
+		if !ok {
+			db.versionMu.RUnlock()
+			return errClosedTable(f.ID)
+		}
+		it, err := t.NewIterator()
+		if err != nil {
+			db.versionMu.RUnlock()
+			closeAll(its)
+			return err
+		}
+		its = append(its, it)
+	}
+	lo, hi := compaction.KeyRangeOf(all)
+	// Tombstones may be dropped only when nothing outside the merge can
+	// still hold an older version of a key in range: for leveled output,
+	// nothing below the output level overlaps; for a size-tiered merge,
+	// only when the whole tree participates.
+	drop := true
+	if outLevel == job.Level {
+		drop = job.WholeTree
+	} else {
+		for l := outLevel + 1; l < manifest.NumLevels; l++ {
+			if len(db.version.Overlapping(l, lo, hi)) > 0 {
+				drop = false
+				break
+			}
+		}
+	}
+	db.versionMu.RUnlock()
+
+	var skip func([]byte) bool
+	if db.opts.TriadMem && job.Level == 0 {
+		db.mu.Lock()
+		mem := db.mem
+		db.mu.Unlock()
+		skip = func(key []byte) bool {
+			_, ok := mem.Get(key)
+			if ok {
+				db.met.EntriesDiscarded.Add(1)
+			}
+			return ok
+		}
+	}
+
+	merge := compaction.NewMergeIterator(its)
+	dedup := compaction.NewDedupIterator(merge, drop, skip)
+	defer dedup.Close()
+
+	var (
+		outputs []manifest.FileMeta
+		w       *sstable.Writer
+		written int64
+		first   []byte
+		count   uint64
+	)
+	finish := func() error {
+		if w == nil {
+			return nil
+		}
+		n, err := w.Finish()
+		if err != nil {
+			w.Abort(db.fs)
+			return err
+		}
+		written += n
+		outputs = append(outputs, manifest.FileMeta{
+			ID:         w.ID(),
+			Kind:       manifest.KindSST,
+			Level:      outLevel,
+			Size:       n,
+			NumEntries: count,
+			Smallest:   first,
+			Largest:    append([]byte(nil), w.LastKey()...),
+		})
+		w = nil
+		return nil
+	}
+	for dedup.Next() {
+		e := dedup.Entry()
+		db.met.EntriesCompacted.Add(1)
+		if w == nil {
+			db.mu.Lock()
+			id := db.allocFileID()
+			db.mu.Unlock()
+			var err error
+			w, err = sstable.NewWriter(db.fs, id, db.opts.BlockBytes)
+			if err != nil {
+				return err
+			}
+			first = append([]byte(nil), e.Key...)
+			count = 0
+		}
+		if err := w.Add(e); err != nil {
+			w.Abort(db.fs)
+			return err
+		}
+		count++
+		// Leveled outputs roll at the target file size. A size-tiered
+		// merge (output level == input level) must produce one table —
+		// splitting would recreate same-sized files for the bucketer to
+		// merge again, forever; tiers are supposed to grow.
+		if outLevel != job.Level && w.EstimatedSize() >= db.opts.TargetFileBytes {
+			if err := finish(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := dedup.Err(); err != nil {
+		if w != nil {
+			w.Abort(db.fs)
+		}
+		return err
+	}
+	if err := finish(); err != nil {
+		return err
+	}
+	db.met.BytesCompacted.Add(written)
+
+	return db.installCompaction(all, outputs)
+}
+
+// installCompaction journals the edit, swaps the version, and removes the
+// consumed files (for CL-SSTables: the index and its pinned commit log).
+func (db *DB) installCompaction(consumed []*manifest.FileMeta, outputs []manifest.FileMeta) error {
+	newTables := make(map[uint64]sstable.Table, len(outputs))
+	for i := range outputs {
+		t, err := db.openTable(&outputs[i])
+		if err != nil {
+			for _, nt := range newTables {
+				nt.Close()
+			}
+			return err
+		}
+		newTables[outputs[i].ID] = t
+	}
+	db.mu.Lock()
+	edit := manifest.Edit{Added: outputs, NextFileID: db.nextID, LastSeq: db.seq}
+	db.mu.Unlock()
+	for _, f := range consumed {
+		edit.Deleted = append(edit.Deleted, f.ID)
+	}
+	if err := db.manifest.Append(edit); err != nil {
+		for _, nt := range newTables {
+			nt.Close()
+		}
+		return err
+	}
+	db.versionMu.Lock()
+	nv, err := db.version.Apply(edit)
+	if err != nil {
+		db.versionMu.Unlock()
+		for _, nt := range newTables {
+			nt.Close()
+		}
+		return err
+	}
+	db.version = nv
+	var closeErr error
+	for _, f := range consumed {
+		if t, ok := db.tables[f.ID]; ok {
+			if err := t.Close(); err != nil && closeErr == nil {
+				closeErr = err
+			}
+			delete(db.tables, f.ID)
+		}
+	}
+	for id, t := range newTables {
+		db.tables[id] = t
+	}
+	db.l0Count.Store(int32(len(nv.Levels[0])))
+	db.versionMu.Unlock()
+	// Wake writers stalled on the L0 file count.
+	db.mu.Lock()
+	db.cond.Broadcast()
+	db.mu.Unlock()
+	if closeErr != nil {
+		return closeErr
+	}
+	for _, f := range consumed {
+		db.cache.EvictTable(f.ID)
+	}
+	for _, f := range consumed {
+		switch f.Kind {
+		case manifest.KindCLSST:
+			if err := db.fs.Remove(sstable.CLIndexFileName(f.ID)); err != nil {
+				return err
+			}
+			if err := db.fs.Remove(wal.FileName(f.LogID)); err != nil {
+				return err
+			}
+		default:
+			if err := db.fs.Remove(sstable.FileName(f.ID)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func closeAll(its []sstable.Iterator) {
+	for _, it := range its {
+		it.Close()
+	}
+}
+
+type errClosedTable uint64
+
+func (e errClosedTable) Error() string { return "lsm: table missing from cache" }

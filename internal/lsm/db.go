@@ -1,0 +1,518 @@
+// Package lsm implements the LSM key-value engine (paper Figure 1): a
+// memtable absorbing updates, a commit log for durability, and a leveled
+// on-disk component maintained by background flushes and compactions.
+//
+// One engine serves as both sides of every experiment: with the three
+// technique toggles off it behaves like the paper's RocksDB baseline
+// (leveled compaction, one-file-at-a-time L0 merges, full memtable
+// flushes); enabling TriadMem / TriadDisk / TriadLog switches in the
+// paper's §4 mechanisms at exactly three sites — the flush policy, the L0
+// compaction gate, and the L0 table format — leaving everything else
+// byte-identical, which is what makes the ablation meaningful.
+package lsm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/base"
+	"repro/internal/compaction"
+	"repro/internal/manifest"
+	"repro/internal/memtable"
+	"repro/internal/metrics"
+	"repro/internal/sstable"
+	"repro/internal/vfs"
+	"repro/internal/wal"
+)
+
+// ErrNotFound is returned by Get for missing (or deleted) keys.
+var ErrNotFound = errors.New("lsm: key not found")
+
+// ErrClosed is returned on use after Close.
+var ErrClosed = errors.New("lsm: database closed")
+
+// immutable is a sealed (memtable, commit log) pair queued for flush.
+type immutable struct {
+	mem *memtable.Memtable
+	log *wal.Writer
+}
+
+// DB is the key-value store.
+type DB struct {
+	opts   Options
+	fs     vfs.FS
+	picker *compaction.Picker
+	met    metrics.Metrics
+
+	// mu guards the mutable write-side state and the background queue.
+	mu     sync.Mutex
+	cond   *sync.Cond // signalled on queue/state changes
+	mem    *memtable.Memtable
+	imm    []*immutable
+	log    *wal.Writer
+	seq    uint64
+	nextID uint64
+	closed bool
+
+	// versionMu guards the version pointer and the open-table map. Reads
+	// hold it shared for the duration of a lookup so installs cannot
+	// close a table out from under them.
+	versionMu sync.RWMutex
+	version   *manifest.Version
+	tables    map[uint64]sstable.Table
+
+	manifest *manifest.Log
+	cache    *sstable.BlockCache
+
+	// compactionMu serializes compaction pick+run cycles between the
+	// background worker and explicit CompactOnce/CompactAll callers, so
+	// no two compactions can consume the same files.
+	compactionMu sync.Mutex
+
+	bgErr error // first background error; surfaced on subsequent ops
+	bgWG  sync.WaitGroup
+
+	compactRequested bool
+	flushing         int // immutables currently being flushed
+	seedCounter      int64
+	hotFrac          float64 // live TRIAD-MEM hot budget (auto-tunable)
+
+	// l0Count caches len(version.Levels[0]) for the write-stall check
+	// without taking versionMu on the write path.
+	l0Count atomic.Int32
+}
+
+// Open opens (creating or recovering) a DB in opts.FS.
+func Open(opts Options) (*DB, error) {
+	if opts.FS == nil {
+		return nil, errors.New("lsm: Options.FS is required")
+	}
+	opts.withDefaults()
+	db := &DB{
+		opts:   opts,
+		fs:     opts.FS,
+		picker: compaction.NewPicker(opts.pickerOptions()),
+		tables: make(map[uint64]sstable.Table),
+		cache:  sstable.NewBlockCache(opts.BlockCacheBytes),
+	}
+	db.cond = sync.NewCond(&db.mu)
+	if err := db.recover(); err != nil {
+		return nil, err
+	}
+	// A recovered tree may already be over its compaction triggers
+	// (e.g. many L0 files); let the worker check immediately.
+	if !opts.DisableAutoCompaction && !opts.DisableBackgroundIO {
+		db.compactRequested = true
+	}
+	db.bgWG.Add(2)
+	go db.flushWorker()
+	go db.compactionWorker()
+	return db, nil
+}
+
+func (db *DB) nextSeed() int64 {
+	db.seedCounter++
+	return db.opts.Seed + db.seedCounter
+}
+
+// recover reconstructs the tree from the manifest and replays orphan logs.
+func (db *DB) recover() error {
+	ml, v, state, err := manifest.OpenLog(db.fs)
+	if err != nil {
+		return err
+	}
+	db.manifest = ml
+	db.version = v
+	db.l0Count.Store(int32(len(v.Levels[0])))
+	db.seq = state.LastSeq
+	db.nextID = state.NextFileID
+	if db.nextID == 0 {
+		db.nextID = 1
+	}
+
+	// Open every table the manifest references; remember which commit
+	// logs are pinned by CL-SSTables.
+	pinnedLogs := map[uint64]bool{}
+	for _, files := range v.Levels {
+		for _, f := range files {
+			t, err := db.openTable(f)
+			if err != nil {
+				return fmt.Errorf("lsm: recover table %d: %w", f.ID, err)
+			}
+			db.tables[f.ID] = t
+			if f.Kind == manifest.KindCLSST {
+				pinnedLogs[f.LogID] = true
+			}
+			if f.ID >= db.nextID {
+				db.nextID = f.ID + 1
+			}
+		}
+	}
+
+	// Replay unpinned logs (sealed-but-unflushed or current at crash)
+	// oldest-first into a fresh memtable.
+	logNames, err := db.fs.List("")
+	if err != nil {
+		return err
+	}
+	var replayIDs []uint64
+	for _, name := range logNames {
+		var id uint64
+		if _, err := fmt.Sscanf(name, "%d.log", &id); err == nil && name == wal.FileName(id) && !pinnedLogs[id] {
+			replayIDs = append(replayIDs, id)
+		}
+	}
+	db.mem = memtable.New(db.nextSeed())
+	for _, id := range replayIDs {
+		err := wal.Replay(db.fs, id, func(e base.Entry, _ int64) error {
+			if e.Seq > db.seq {
+				db.seq = e.Seq
+			}
+			db.mem.Set(e.Key, e.Value, e.Seq, e.Kind, 0, 0)
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("lsm: replay log %d: %w", id, err)
+		}
+		if id >= db.nextID {
+			db.nextID = id + 1
+		}
+	}
+
+	// Start a fresh log and rewrite the recovered entries into it so the
+	// TRIAD-LOG invariant (every memtable entry's offset points into the
+	// current log) holds; then the replayed logs can go.
+	db.log, err = wal.NewWriter(db.fs, db.allocFileID(), db.opts.SyncWAL)
+	if err != nil {
+		return err
+	}
+	if db.mem.Len() > 0 {
+		if err := db.populateLog(db.log, db.mem.All()); err != nil {
+			return err
+		}
+	}
+	for _, id := range replayIDs {
+		if err := db.fs.Remove(wal.FileName(id)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (db *DB) openTable(f *manifest.FileMeta) (sstable.Table, error) {
+	switch f.Kind {
+	case manifest.KindCLSST:
+		return sstable.OpenCLWithCache(db.fs, f.ID, db.cache)
+	default:
+		return sstable.OpenWithCache(db.fs, f.ID, db.cache)
+	}
+}
+
+// CacheStats reports block-cache hits and misses (zero when disabled).
+func (db *DB) CacheStats() (hits, misses int64) { return db.cache.Stats() }
+
+func (db *DB) allocFileID() uint64 {
+	id := db.nextID
+	db.nextID++
+	return id
+}
+
+// populateLog appends every entry to w and updates the entries' commit-log
+// positions (Algorithm 1, populateLog + CLUpdateOffset).
+func (db *DB) populateLog(w *wal.Writer, entries []*memtable.Entry) error {
+	for _, e := range entries {
+		off, n, err := w.Append(e.Base())
+		if err != nil {
+			return err
+		}
+		db.met.BytesLogged.Add(int64(n))
+		e.LogID = w.ID()
+		e.LogOffset = off
+	}
+	return nil
+}
+
+// Put associates value with key.
+func (db *DB) Put(key, value []byte) error {
+	return db.write(key, value, base.KindSet)
+}
+
+// Delete removes key (writing a tombstone).
+func (db *DB) Delete(key []byte) error {
+	return db.write(key, nil, base.KindDelete)
+}
+
+func (db *DB) write(key, value []byte, kind base.Kind) error {
+	if len(key) == 0 {
+		return errors.New("lsm: empty key")
+	}
+	k := append([]byte(nil), key...)
+	var v []byte
+	if value != nil {
+		v = append([]byte(nil), value...)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	if db.bgErr != nil {
+		return db.bgErr
+	}
+	if err := db.stallLocked(); err != nil {
+		return err
+	}
+	db.seq++
+	e := base.Entry{Key: k, Value: v, Seq: db.seq, Kind: kind}
+	off, n, err := db.log.Append(e)
+	if err != nil {
+		return err
+	}
+	db.met.BytesLogged.Add(int64(n))
+	db.mem.Set(k, v, e.Seq, kind, db.log.ID(), off)
+	db.met.UserWrites.Add(1)
+	db.met.UserBytes.Add(e.Size())
+	return db.maybeRotateLocked()
+}
+
+// stallLocked applies write backpressure: writers wait while the flush
+// queue is full or L0 has accumulated L0StallFiles tables (RocksDB's
+// stop-writes trigger) — the mechanism through which background-I/O debt
+// reaches user-facing throughput (§3). Caller holds db.mu.
+func (db *DB) stallLocked() error {
+	l0Stall := func() bool {
+		// Size-tiered keeps its whole tree in L0 by design; only the
+		// immutable-queue backpressure applies there.
+		return !db.opts.SizeTieredCompaction &&
+			!db.opts.DisableBackgroundIO && !db.opts.DisableAutoCompaction &&
+			int(db.l0Count.Load()) >= db.opts.L0StallFiles
+	}
+	for !db.closed && (len(db.imm) > db.opts.MaxImmutableMemtables || l0Stall()) {
+		db.cond.Wait()
+	}
+	if db.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
+// maybeRotateLocked seals the memtable when it or the commit log is full
+// (paper §2, Flushing). Caller holds db.mu.
+func (db *DB) maybeRotateLocked() error {
+	memFull := db.mem.ApproxSize() >= db.opts.MemtableBytes
+	logFull := db.log.Size() >= db.opts.CommitLogBytes
+	if !memFull && !logFull {
+		return nil
+	}
+	// TRIAD-MEM small-memtable skip (Algorithm 1): a log-full flush with
+	// a small memtable rewrites a compact log instead of flushing, so
+	// very skewed workloads do not litter L0 with tiny files.
+	if db.opts.TriadMem && logFull && db.mem.ApproxSize() < db.opts.FlushThresholdBytes {
+		newLog, err := wal.NewWriter(db.fs, db.allocFileID(), db.opts.SyncWAL)
+		if err != nil {
+			return err
+		}
+		oldLog := db.log
+		if err := db.populateLog(newLog, db.mem.All()); err != nil {
+			newLog.Close()
+			return err
+		}
+		db.log = newLog
+		db.met.FlushSkips.Add(1)
+		if err := oldLog.Close(); err != nil {
+			return err
+		}
+		return db.fs.Remove(wal.FileName(oldLog.ID()))
+	}
+	return db.sealLocked()
+}
+
+// sealLocked moves the live (memtable, log) pair onto the flush queue and
+// installs fresh ones. Caller holds db.mu.
+func (db *DB) sealLocked() error {
+	newLog, err := wal.NewWriter(db.fs, db.allocFileID(), db.opts.SyncWAL)
+	if err != nil {
+		return err
+	}
+	db.imm = append(db.imm, &immutable{mem: db.mem, log: db.log})
+	db.mem = memtable.New(db.nextSeed())
+	db.log = newLog
+	db.cond.Broadcast()
+	return nil
+}
+
+// Get returns the value stored under key, or ErrNotFound.
+func (db *DB) Get(key []byte) ([]byte, error) {
+	db.met.UserReads.Add(1)
+	// Snapshot the memtable stack.
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return nil, ErrClosed
+	}
+	mem := db.mem
+	imms := append([]*immutable(nil), db.imm...)
+	db.mu.Unlock()
+
+	if e, ok := mem.Get(key); ok {
+		db.met.ReadsFromMem.Add(1)
+		return entryValue(e.Base())
+	}
+	for i := len(imms) - 1; i >= 0; i-- {
+		if e, ok := imms[i].mem.Get(key); ok {
+			db.met.ReadsFromMem.Add(1)
+			return entryValue(e.Base())
+		}
+	}
+
+	db.versionMu.RLock()
+	defer db.versionMu.RUnlock()
+	v := db.version
+	if db.opts.SizeTieredCompaction {
+		// Size-tiered files in L0 are not in strict freshness order (a
+		// merged table has a new file ID but old contents), so resolve
+		// by sequence number across every overlapping file.
+		var best base.Entry
+		var bestFound bool
+		for _, f := range v.Levels[0] {
+			e, found, reads, err := db.tables[f.ID].Get(key)
+			db.met.TableDiskReads.Add(int64(reads))
+			if err != nil {
+				return nil, err
+			}
+			if found && (!bestFound || e.Seq > best.Seq) {
+				best, bestFound = e, true
+			}
+		}
+		if bestFound {
+			return entryValue(best)
+		}
+		return nil, ErrNotFound
+	}
+	// L0: newest to oldest, all files (overlapping ranges).
+	for _, f := range v.Levels[0] {
+		e, found, reads, err := db.tables[f.ID].Get(key)
+		db.met.TableDiskReads.Add(int64(reads))
+		if err != nil {
+			return nil, err
+		}
+		if found {
+			return entryValue(e)
+		}
+	}
+	// Deeper levels: at most one file each.
+	for l := 1; l < manifest.NumLevels; l++ {
+		for _, f := range v.Overlapping(l, key, key) {
+			e, found, reads, err := db.tables[f.ID].Get(key)
+			db.met.TableDiskReads.Add(int64(reads))
+			if err != nil {
+				return nil, err
+			}
+			if found {
+				return entryValue(e)
+			}
+		}
+	}
+	return nil, ErrNotFound
+}
+
+func entryValue(e base.Entry) ([]byte, error) {
+	if e.Kind == base.KindDelete {
+		return nil, ErrNotFound
+	}
+	return e.Value, nil
+}
+
+// Metrics returns a snapshot of the engine's counters.
+func (db *DB) Metrics() metrics.Snapshot { return db.met.Snapshot() }
+
+// RawMetrics exposes the live counters (the harness adds elapsed time).
+func (db *DB) RawMetrics() *metrics.Metrics { return &db.met }
+
+// Flush seals the current memtable (if non-empty) and blocks until the
+// whole flush queue has drained.
+func (db *DB) Flush() error {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return ErrClosed
+	}
+	if db.mem.Len() > 0 {
+		if err := db.sealLocked(); err != nil {
+			db.mu.Unlock()
+			return err
+		}
+	}
+	for (len(db.imm) > 0 || db.flushing > 0) && db.bgErr == nil && !db.closed {
+		db.cond.Wait()
+	}
+	err := db.bgErr
+	db.mu.Unlock()
+	return err
+}
+
+// SetDisableBackgroundIO toggles Figure 2's no-background-I/O mode at
+// runtime (the experiment pre-populates the tree first, then disables).
+func (db *DB) SetDisableBackgroundIO(v bool) {
+	db.mu.Lock()
+	db.opts.DisableBackgroundIO = v
+	db.mu.Unlock()
+}
+
+// NumLevelFiles reports the file count per level (observability/tests).
+func (db *DB) NumLevelFiles() []int {
+	db.versionMu.RLock()
+	defer db.versionMu.RUnlock()
+	out := make([]int, manifest.NumLevels)
+	for l, files := range db.version.Levels {
+		out[l] = len(files)
+	}
+	return out
+}
+
+// LevelSizes reports bytes per level.
+func (db *DB) LevelSizes() []int64 {
+	db.versionMu.RLock()
+	defer db.versionMu.RUnlock()
+	out := make([]int64, manifest.NumLevels)
+	for l := range db.version.Levels {
+		out[l] = db.version.LevelSize(l)
+	}
+	return out
+}
+
+// Close drains background work and releases all resources.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return nil
+	}
+	db.closed = true
+	db.cond.Broadcast()
+	db.mu.Unlock()
+	db.bgWG.Wait()
+
+	db.mu.Lock()
+	err := db.bgErr
+	if e := db.log.Close(); err == nil {
+		err = e
+	}
+	db.mu.Unlock()
+
+	db.versionMu.Lock()
+	for _, t := range db.tables {
+		if e := t.Close(); err == nil {
+			err = e
+		}
+	}
+	db.tables = nil
+	db.versionMu.Unlock()
+
+	if e := db.manifest.Close(); err == nil {
+		err = e
+	}
+	return err
+}

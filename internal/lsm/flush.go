@@ -1,0 +1,289 @@
+package lsm
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/manifest"
+	"repro/internal/memtable"
+	"repro/internal/sstable"
+	"repro/internal/wal"
+)
+
+// The engine runs two background workers, mirroring RocksDB's separate
+// flush and compaction thread pools (§6 credits RocksDB with introducing
+// multi-threaded background work): flushes never queue behind a long
+// compaction, so write stalls reflect flush speed alone. Exactly one
+// compaction runs at a time (compactionMu), which keeps the paper's
+// "% time spent in compaction" directly comparable to wall time.
+
+// flushWorker drains the immutable-memtable queue.
+func (db *DB) flushWorker() {
+	defer db.bgWG.Done()
+	for {
+		db.mu.Lock()
+		for !db.closed && len(db.imm) == 0 {
+			db.cond.Wait()
+		}
+		if len(db.imm) == 0 && db.closed {
+			db.mu.Unlock()
+			return
+		}
+		// The immutable stays on the queue (visible to readers) until
+		// its table is installed; it is only dequeued after the flush
+		// completes.
+		imm := db.imm[0]
+		db.flushing++
+		disable := db.opts.DisableBackgroundIO
+		db.mu.Unlock()
+
+		var err error
+		if disable {
+			err = db.discardImmutable(imm)
+		} else {
+			err = db.flushImmutable(imm)
+		}
+
+		db.mu.Lock()
+		db.imm = db.imm[1:]
+		db.flushing--
+		if err != nil && db.bgErr == nil {
+			db.bgErr = err
+		}
+		if !db.opts.DisableAutoCompaction && !disable {
+			db.compactRequested = true
+		}
+		db.cond.Broadcast()
+		db.mu.Unlock()
+	}
+}
+
+// compactionWorker runs compaction rounds whenever a flush requests one.
+func (db *DB) compactionWorker() {
+	defer db.bgWG.Done()
+	for {
+		db.mu.Lock()
+		for !db.closed && !db.compactRequested {
+			db.cond.Wait()
+		}
+		if db.closed {
+			db.mu.Unlock()
+			return
+		}
+		db.compactRequested = false
+		db.mu.Unlock()
+		if err := db.compactLoop(); err != nil {
+			db.mu.Lock()
+			if db.bgErr == nil {
+				db.bgErr = err
+			}
+			db.cond.Broadcast()
+			db.mu.Unlock()
+		}
+	}
+}
+
+// discardImmutable implements Figure 2's "No BG I/O" variant: the sealed
+// memtable is dropped and its log removed; nothing reaches L0.
+func (db *DB) discardImmutable(imm *immutable) error {
+	if err := imm.log.Close(); err != nil {
+		return err
+	}
+	return db.fs.Remove(wal.FileName(imm.log.ID()))
+}
+
+// flushImmutable writes one sealed memtable to L0 (paper §2 Flushing,
+// §4.1 Algorithm 1 and §4.3 Figure 6 depending on the enabled techniques).
+func (db *DB) flushImmutable(imm *immutable) error {
+	start := time.Now()
+	defer func() { db.met.FlushNanos.Add(time.Since(start).Nanoseconds()) }()
+
+	entries := imm.mem.All()
+	if len(entries) == 0 {
+		return db.dropLog(imm.log)
+	}
+
+	toFlush := entries
+	if db.opts.TriadMem {
+		sep := imm.mem.SeparateKeys(db.opts.HotPolicy, db.currentHotFraction())
+		db.autoTuneHot(sep, len(entries))
+		toFlush = sep.Cold
+		db.met.HotKeysKeptInMem.Add(int64(len(sep.Hot)))
+		if len(sep.Hot) > 0 {
+			// Keep hot entries in the new memtable and write them back
+			// to the current commit log so no information is lost
+			// (Figure 3). A newer user write — which may live in the
+			// live memtable or in a memtable sealed after this one —
+			// wins by sequence number.
+			db.mu.Lock()
+			log, mem := db.log, db.mem
+			var laterImms []*immutable
+			for i, q := range db.imm {
+				if q == imm {
+					laterImms = append([]*immutable(nil), db.imm[i+1:]...)
+					break
+				}
+			}
+			for _, h := range sep.Hot {
+				if cur, ok := mem.Get(h.Key); ok && cur.Seq >= h.Seq {
+					continue // superseded while the flush was queued
+				}
+				superseded := false
+				for _, q := range laterImms {
+					if cur, ok := q.mem.Get(h.Key); ok && cur.Seq >= h.Seq {
+						superseded = true
+						break
+					}
+				}
+				if superseded {
+					continue
+				}
+				off, n, err := log.Append(h.Base())
+				if err != nil {
+					db.mu.Unlock()
+					return err
+				}
+				db.met.BytesLogged.Add(int64(n))
+				mem.Set(h.Key, h.Value, h.Seq, h.Kind, log.ID(), off)
+			}
+			db.mu.Unlock()
+		}
+	}
+	db.met.ColdEntriesFlushed.Add(int64(len(toFlush)))
+	if len(toFlush) == 0 {
+		db.met.Flushes.Add(1)
+		return db.dropLog(imm.log)
+	}
+
+	var (
+		meta    manifest.FileMeta
+		written int64
+		err     error
+	)
+	if db.opts.TriadLog {
+		meta, written, err = db.writeCLSSTable(imm, toFlush)
+	} else {
+		meta, written, err = db.writeSSTable(toFlush)
+	}
+	if err != nil {
+		return err
+	}
+	db.met.BytesFlushed.Add(written)
+	db.met.Flushes.Add(1)
+
+	if err := db.installFlush(meta); err != nil {
+		return err
+	}
+	if !db.opts.TriadLog {
+		// The memtable contents are durable in the SSTable; the log can
+		// go. Under TRIAD-LOG the log *is* the table's value store and
+		// stays pinned until compaction consumes it.
+		return db.dropLog(imm.log)
+	}
+	return imm.log.Close()
+}
+
+func (db *DB) dropLog(log *wal.Writer) error {
+	if err := log.Close(); err != nil {
+		return err
+	}
+	return db.fs.Remove(wal.FileName(log.ID()))
+}
+
+// writeSSTable emits a classic L0 table from sorted memtable entries.
+func (db *DB) writeSSTable(entries []*memtable.Entry) (manifest.FileMeta, int64, error) {
+	db.mu.Lock()
+	id := db.allocFileID()
+	db.mu.Unlock()
+	w, err := sstable.NewWriter(db.fs, id, db.opts.BlockBytes)
+	if err != nil {
+		return manifest.FileMeta{}, 0, err
+	}
+	for _, e := range entries {
+		if err := w.Add(e.Base()); err != nil {
+			w.Abort(db.fs)
+			return manifest.FileMeta{}, 0, err
+		}
+	}
+	written, err := w.Finish()
+	if err != nil {
+		w.Abort(db.fs)
+		return manifest.FileMeta{}, 0, err
+	}
+	return manifest.FileMeta{
+		ID:         id,
+		Kind:       manifest.KindSST,
+		Level:      0,
+		Size:       written,
+		NumEntries: uint64(len(entries)),
+		Smallest:   append([]byte(nil), entries[0].Key...),
+		Largest:    append([]byte(nil), entries[len(entries)-1].Key...),
+	}, written, nil
+}
+
+// writeCLSSTable emits only the sorted offset index over the sealed log
+// (TRIAD-LOG): "instead of copying Cm to disk, we convert the commit log
+// into a CL-SSTable". With TRIAD-MEM, only the cold part of the index is
+// flushed; the hot keys' offsets are ignored.
+func (db *DB) writeCLSSTable(imm *immutable, entries []*memtable.Entry) (manifest.FileMeta, int64, error) {
+	db.mu.Lock()
+	id := db.allocFileID()
+	db.mu.Unlock()
+	w, err := sstable.NewCLWriter(db.fs, id, imm.log.ID(), db.opts.BlockBytes)
+	if err != nil {
+		return manifest.FileMeta{}, 0, err
+	}
+	for _, e := range entries {
+		if e.LogID != imm.log.ID() {
+			w.Abort(db.fs)
+			return manifest.FileMeta{}, 0, fmt.Errorf(
+				"lsm: entry %q points at log %d, expected %d", e.Key, e.LogID, imm.log.ID())
+		}
+		if err := w.Add(e.Key, e.Seq, e.Kind, e.LogOffset); err != nil {
+			w.Abort(db.fs)
+			return manifest.FileMeta{}, 0, err
+		}
+	}
+	written, err := w.Finish()
+	if err != nil {
+		w.Abort(db.fs)
+		return manifest.FileMeta{}, 0, err
+	}
+	return manifest.FileMeta{
+		ID:         id,
+		Kind:       manifest.KindCLSST,
+		Level:      0,
+		Size:       written,
+		NumEntries: uint64(len(entries)),
+		Smallest:   append([]byte(nil), entries[0].Key...),
+		Largest:    append([]byte(nil), entries[len(entries)-1].Key...),
+		LogID:      imm.log.ID(),
+	}, written, nil
+}
+
+// installFlush journals and publishes a new L0 table.
+func (db *DB) installFlush(meta manifest.FileMeta) error {
+	t, err := db.openTable(&meta)
+	if err != nil {
+		return err
+	}
+	db.mu.Lock()
+	edit := manifest.Edit{Added: []manifest.FileMeta{meta}, NextFileID: db.nextID, LastSeq: db.seq}
+	db.mu.Unlock()
+	if err := db.manifest.Append(edit); err != nil {
+		t.Close()
+		return err
+	}
+	db.versionMu.Lock()
+	nv, err := db.version.Apply(edit)
+	if err != nil {
+		db.versionMu.Unlock()
+		t.Close()
+		return err
+	}
+	db.version = nv
+	db.tables[meta.ID] = t
+	db.l0Count.Store(int32(len(nv.Levels[0])))
+	db.versionMu.Unlock()
+	return nil
+}

@@ -1,0 +1,195 @@
+package lsm
+
+import (
+	"repro/internal/compaction"
+	"repro/internal/memtable"
+	"repro/internal/vfs"
+)
+
+// Options configures a DB. The zero value is not usable; start from
+// DefaultOptions (the RocksDB-like baseline) or TriadOptions (all three
+// techniques on, with the paper's parameters: overlap threshold 0.4, max 6
+// L0 files, top-1% hot keys).
+type Options struct {
+	// FS is the filesystem; required.
+	FS vfs.FS
+
+	// MemtableBytes caps the memory component Cm; a flush is scheduled
+	// when it fills (paper §2: "a few MBs to tens of MBs"; the synthetic
+	// evaluation uses 4 MB).
+	MemtableBytes int64
+	// CommitLogBytes caps the commit log; exceeding it also triggers a
+	// flush even when the memtable has room (paper §2-§3 — the trigger
+	// data skew abuses).
+	CommitLogBytes int64
+	// SyncWAL forces a sync per append (off in the experiments, as in
+	// the paper's batched logging).
+	SyncWAL bool
+
+	// TriadMem enables hot/cold key separation at flush (§4.1).
+	TriadMem bool
+	// TriadDisk enables HLL-based deferred L0 compaction (§4.2).
+	TriadDisk bool
+	// TriadLog enables CL-SSTable index-only flushes (§4.3).
+	TriadLog bool
+
+	// HotFraction is TRIAD-MEM's PERC_HOT: the fraction of memtable
+	// entries eligible to stay hot (paper's evaluation: top 1%).
+	HotFraction float64
+	// HotPolicy selects the hot-key detector (§4.1 discusses top-K and
+	// above-mean selection).
+	HotPolicy memtable.HotPolicy
+	// FlushThresholdBytes is FLUSH_TH: when a log-full flush fires with a
+	// memtable smaller than this, TRIAD-MEM skips the flush and rewrites
+	// a compact commit log instead (Algorithm 1).
+	FlushThresholdBytes int64
+	// AutoTuneHotFraction enables the hill-climbing K tuner the paper
+	// sketches as future work (§4.1): the hot budget grows while
+	// multi-update keys keep spilling to disk and shrinks while it sits
+	// unused. HotFraction is the starting point.
+	AutoTuneHotFraction bool
+
+	// OverlapRatioThreshold is TRIAD-DISK's compaction gate (paper: 0.4).
+	OverlapRatioThreshold float64
+	// MaxFilesL0 forces compaction regardless of overlap (paper: 6).
+	MaxFilesL0 int
+	// L0CompactionTrigger is the baseline L0 file-count trigger
+	// (RocksDB default: 4).
+	L0CompactionTrigger int
+	// L0StallFiles stops writes while L0 holds at least this many files,
+	// RocksDB's level0_stop_writes_trigger: the backpressure that makes
+	// user throughput feel compaction debt (paper §3's bottleneck).
+	// It must exceed MaxFilesL0 so TRIAD-DISK can still defer.
+	L0StallFiles int
+
+	// BaseLevelBytes is the L1 size target; each deeper level is
+	// LevelMultiplier times larger.
+	BaseLevelBytes  int64
+	LevelMultiplier int64
+	// TargetFileBytes caps each compaction output file.
+	TargetFileBytes int64
+	// BlockBytes is the SSTable data-block size.
+	BlockBytes int
+
+	// MaxImmutableMemtables bounds the flush queue; writers stall beyond
+	// it (RocksDB's write-stall behaviour).
+	MaxImmutableMemtables int
+
+	// BlockCacheBytes sizes the shared data-block cache (0 disables it).
+	// Cache hits do not count as disk accesses for read amplification,
+	// matching the substrate's block-cache behaviour.
+	BlockCacheBytes int64
+
+	// SizeTieredCompaction switches from leveled to a Cassandra-style
+	// size-tiered strategy (§2 of the paper notes TRIAD adapts to it;
+	// TRIAD-DISK then uses its HLL sketches to pick the most
+	// duplicate-dense merge bucket). All tables live in L0.
+	SizeTieredCompaction bool
+	// MinMergeWidth / MaxMergeWidth bound a size-tiered merge.
+	MinMergeWidth, MaxMergeWidth int
+
+	// DisableBackgroundIO reproduces Figure 2's "RocksDB No BG I/O":
+	// sealed memtables are discarded instead of flushed and no
+	// compaction runs. Reads are served from the pre-populated tree.
+	DisableBackgroundIO bool
+	// DisableAutoCompaction leaves compaction to explicit CompactOnce /
+	// CompactAll calls (used by tests).
+	DisableAutoCompaction bool
+
+	// Seed drives memtable skiplist randomness.
+	Seed int64
+}
+
+// DefaultOptions returns the baseline engine configuration ("RocksDB" in
+// the figures): leveled compaction, classic flushes, no TRIAD techniques.
+func DefaultOptions(fs vfs.FS) Options {
+	return Options{
+		FS:                    fs,
+		MemtableBytes:         4 << 20,
+		CommitLogBytes:        16 << 20,
+		HotFraction:           0.01,
+		FlushThresholdBytes:   2 << 20,
+		OverlapRatioThreshold: 0.4,
+		MaxFilesL0:            6,
+		L0CompactionTrigger:   4,
+		L0StallFiles:          12,
+		BaseLevelBytes:        8 << 20,
+		LevelMultiplier:       10,
+		TargetFileBytes:       2 << 20,
+		BlockBytes:            4 << 10,
+		MaxImmutableMemtables: 2,
+	}
+}
+
+// TriadOptions returns the full-TRIAD configuration with the paper's
+// parameters (§5.1).
+func TriadOptions(fs vfs.FS) Options {
+	o := DefaultOptions(fs)
+	o.TriadMem = true
+	o.TriadDisk = true
+	o.TriadLog = true
+	return o
+}
+
+func (o *Options) withDefaults() {
+	if o.MemtableBytes <= 0 {
+		o.MemtableBytes = 4 << 20
+	}
+	if o.CommitLogBytes <= 0 {
+		o.CommitLogBytes = 4 * o.MemtableBytes
+	}
+	if o.FlushThresholdBytes <= 0 {
+		o.FlushThresholdBytes = o.MemtableBytes / 2
+	}
+	if o.HotFraction <= 0 {
+		o.HotFraction = 0.01
+	}
+	if o.OverlapRatioThreshold <= 0 {
+		o.OverlapRatioThreshold = 0.4
+	}
+	if o.MaxFilesL0 <= 0 {
+		o.MaxFilesL0 = 6
+	}
+	if o.L0CompactionTrigger <= 0 {
+		o.L0CompactionTrigger = 4
+	}
+	if o.L0StallFiles <= 0 {
+		o.L0StallFiles = 12
+	}
+	if o.L0StallFiles <= o.MaxFilesL0 {
+		o.L0StallFiles = o.MaxFilesL0 + 2
+	}
+	if o.BaseLevelBytes <= 0 {
+		o.BaseLevelBytes = 8 << 20
+	}
+	if o.LevelMultiplier <= 0 {
+		o.LevelMultiplier = 10
+	}
+	if o.TargetFileBytes <= 0 {
+		o.TargetFileBytes = 2 << 20
+	}
+	if o.BlockBytes <= 0 {
+		o.BlockBytes = 4 << 10
+	}
+	if o.MaxImmutableMemtables <= 0 {
+		o.MaxImmutableMemtables = 2
+	}
+}
+
+func (o Options) pickerOptions() compaction.PickerOptions {
+	strategy := compaction.Leveled
+	if o.SizeTieredCompaction {
+		strategy = compaction.SizeTiered
+	}
+	return compaction.PickerOptions{
+		Strategy:              strategy,
+		L0CompactionTrigger:   o.L0CompactionTrigger,
+		BaseLevelBytes:        o.BaseLevelBytes,
+		Multiplier:            o.LevelMultiplier,
+		TriadDisk:             o.TriadDisk,
+		OverlapRatioThreshold: o.OverlapRatioThreshold,
+		MaxFilesL0:            o.MaxFilesL0,
+		MinMergeWidth:         o.MinMergeWidth,
+		MaxMergeWidth:         o.MaxMergeWidth,
+	}
+}

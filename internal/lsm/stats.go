@@ -1,0 +1,46 @@
+package lsm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Stats renders a human-readable dump of the tree shape and the engine
+// counters, in the spirit of RocksDB's GetProperty("rocksdb.stats").
+func (db *DB) Stats() string {
+	var b strings.Builder
+	m := db.Metrics()
+	files := db.NumLevelFiles()
+	sizes := db.LevelSizes()
+
+	fmt.Fprintf(&b, "levels (files/bytes):\n")
+	for l := range files {
+		if files[l] == 0 && sizes[l] == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  L%d: %d files, %d bytes\n", l, files[l], sizes[l])
+	}
+	db.mu.Lock()
+	memBytes := db.mem.ApproxSize()
+	memLen := db.mem.Len()
+	immCount := len(db.imm)
+	logBytes := db.log.Size()
+	db.mu.Unlock()
+	fmt.Fprintf(&b, "memtable: %d entries, %d bytes (+%d immutable queued)\n", memLen, memBytes, immCount)
+	fmt.Fprintf(&b, "commit log: %d bytes\n", logBytes)
+	fmt.Fprintf(&b, "flushes: %d (skipped: %d)  compactions: %d (deferred: %d)\n",
+		m.Flushes, m.FlushSkips, m.Compactions, m.CompactionsDeferred)
+	fmt.Fprintf(&b, "bytes: user %d  logged %d  flushed %d  compacted %d\n",
+		m.UserBytes, m.BytesLogged, m.BytesFlushed, m.BytesCompacted)
+	fmt.Fprintf(&b, "background time: flush %s, compaction %s\n", m.FlushTime, m.CompactionTime)
+	fmt.Fprintf(&b, "WA: %.2f (flush-relative %.2f)  RA: %.2f\n",
+		m.WriteAmplification(), m.FlushRelativeWA(), m.ReadAmplification())
+	if hits, misses := db.CacheStats(); hits+misses > 0 {
+		fmt.Fprintf(&b, "block cache: %d hits, %d misses (%.1f%% hit rate)\n",
+			hits, misses, 100*float64(hits)/float64(hits+misses))
+	}
+	if m.HotKeysKeptInMem > 0 || m.ColdEntriesFlushed > 0 {
+		fmt.Fprintf(&b, "triad-mem: %d hot kept, %d cold flushed\n", m.HotKeysKeptInMem, m.ColdEntriesFlushed)
+	}
+	return b.String()
+}

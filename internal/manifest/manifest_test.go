@@ -1,0 +1,173 @@
+package manifest
+
+import (
+	"testing"
+
+	"repro/internal/vfs"
+)
+
+func fm(id uint64, level int, lo, hi string) FileMeta {
+	return FileMeta{ID: id, Kind: KindSST, Level: level, Size: 100, Smallest: []byte(lo), Largest: []byte(hi)}
+}
+
+func TestApplyAddDelete(t *testing.T) {
+	v := NewVersion()
+	v1, err := v.Apply(Edit{Added: []FileMeta{fm(1, 0, "a", "m"), fm(2, 0, "c", "z"), fm(3, 1, "a", "f")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v1.Levels[0]) != 2 || len(v1.Levels[1]) != 1 {
+		t.Fatalf("level sizes = %d, %d", len(v1.Levels[0]), len(v1.Levels[1]))
+	}
+	// L0 is newest-first.
+	if v1.Levels[0][0].ID != 2 || v1.Levels[0][1].ID != 1 {
+		t.Fatalf("L0 order: %d, %d", v1.Levels[0][0].ID, v1.Levels[0][1].ID)
+	}
+	// Original version untouched (immutability).
+	if len(v.Levels[0]) != 0 {
+		t.Fatal("Apply mutated the input version")
+	}
+	v2, err := v1.Apply(Edit{Deleted: []uint64{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v2.Levels[0]) != 1 || v2.Levels[0][0].ID != 2 {
+		t.Fatalf("delete left %v", v2.Levels[0])
+	}
+}
+
+func TestApplyDeleteUnknownFails(t *testing.T) {
+	v := NewVersion()
+	if _, err := v.Apply(Edit{Deleted: []uint64{42}}); err == nil {
+		t.Fatal("deleting unknown file succeeded")
+	}
+}
+
+func TestApplyBadLevelFails(t *testing.T) {
+	v := NewVersion()
+	if _, err := v.Apply(Edit{Added: []FileMeta{fm(1, NumLevels, "a", "b")}}); err == nil {
+		t.Fatal("adding to out-of-range level succeeded")
+	}
+}
+
+func TestDeeperLevelsSortedByKey(t *testing.T) {
+	v := NewVersion()
+	v1, _ := v.Apply(Edit{Added: []FileMeta{fm(1, 1, "m", "p"), fm(2, 1, "a", "c"), fm(3, 1, "x", "z")}})
+	got := []string{string(v1.Levels[1][0].Smallest), string(v1.Levels[1][1].Smallest), string(v1.Levels[1][2].Smallest)}
+	if got[0] != "a" || got[1] != "m" || got[2] != "x" {
+		t.Fatalf("L1 order: %v", got)
+	}
+	if err := v1.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckInvariantsDetectsOverlap(t *testing.T) {
+	v := NewVersion()
+	v1, _ := v.Apply(Edit{Added: []FileMeta{fm(1, 1, "a", "m"), fm(2, 1, "k", "z")}})
+	if err := v1.CheckInvariants(); err == nil {
+		t.Fatal("overlapping L1 files passed invariant check")
+	}
+}
+
+func TestOverlapping(t *testing.T) {
+	v := NewVersion()
+	v1, _ := v.Apply(Edit{Added: []FileMeta{fm(1, 1, "a", "f"), fm(2, 1, "g", "m"), fm(3, 1, "n", "z")}})
+	got := v1.Overlapping(1, []byte("e"), []byte("h"))
+	if len(got) != 2 || got[0].ID != 1 || got[1].ID != 2 {
+		t.Fatalf("Overlapping = %v", got)
+	}
+	if len(v1.Overlapping(1, []byte("fa"), []byte("fb"))) != 0 {
+		t.Fatal("gap query returned files")
+	}
+	// Point query.
+	if got := v1.Overlapping(1, []byte("n"), []byte("n")); len(got) != 1 || got[0].ID != 3 {
+		t.Fatalf("point Overlapping = %v", got)
+	}
+}
+
+func TestLevelSize(t *testing.T) {
+	v := NewVersion()
+	v1, _ := v.Apply(Edit{Added: []FileMeta{fm(1, 1, "a", "b"), fm(2, 1, "c", "d")}})
+	if v1.LevelSize(1) != 200 {
+		t.Fatalf("LevelSize = %d", v1.LevelSize(1))
+	}
+}
+
+func TestLogPersistRecover(t *testing.T) {
+	fs := vfs.NewMemFS()
+	l, v, state, err := OpenLog(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if state.NextFileID != 0 || len(v.Levels[0]) != 0 {
+		t.Fatal("fresh log not empty")
+	}
+	if err := l.Append(Edit{Added: []FileMeta{fm(1, 0, "a", "m")}, NextFileID: 2, LastSeq: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(Edit{Added: []FileMeta{fm(2, 0, "c", "z")}, NextFileID: 3, LastSeq: 20}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(Edit{Deleted: []uint64{1}, Added: []FileMeta{fm(3, 1, "a", "m")}, NextFileID: 4, LastSeq: 30}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	_, v2, state2, err := OpenLog(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if state2.NextFileID != 4 || state2.LastSeq != 30 {
+		t.Fatalf("recovered state = %+v", state2)
+	}
+	if len(v2.Levels[0]) != 1 || v2.Levels[0][0].ID != 2 {
+		t.Fatalf("recovered L0 = %v", v2.Levels[0])
+	}
+	if len(v2.Levels[1]) != 1 || v2.Levels[1][0].ID != 3 {
+		t.Fatalf("recovered L1 = %v", v2.Levels[1])
+	}
+}
+
+func TestLogRecoverCLSST(t *testing.T) {
+	fs := vfs.NewMemFS()
+	l, _, _, _ := OpenLog(fs)
+	meta := fm(5, 0, "a", "z")
+	meta.Kind = KindCLSST
+	meta.LogID = 3
+	l.Append(Edit{Added: []FileMeta{meta}, NextFileID: 6})
+	l.Close()
+	_, v, _, err := OpenLog(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := v.Levels[0][0]
+	if got.Kind != KindCLSST || got.LogID != 3 {
+		t.Fatalf("recovered CL meta = %+v", got)
+	}
+}
+
+func TestLogTornTailTolerated(t *testing.T) {
+	fs := vfs.NewMemFS()
+	l, _, _, _ := OpenLog(fs)
+	l.Append(Edit{Added: []FileMeta{fm(1, 0, "a", "b")}, NextFileID: 2})
+	l.Close()
+	// Corrupt the tail with half a JSON object.
+	f, _ := fs.Open("MANIFEST")
+	size, _ := f.Size()
+	buf := make([]byte, size)
+	f.ReadAt(buf, 0)
+	f.Close()
+	w, _ := fs.Create("MANIFEST")
+	w.Write(buf)
+	w.Write([]byte(`{"added":[{"id":`))
+	w.Close()
+
+	_, v, _, err := OpenLog(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Levels[0]) != 1 {
+		t.Fatalf("recovered %d L0 files, want 1", len(v.Levels[0]))
+	}
+}

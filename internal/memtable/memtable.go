@@ -1,0 +1,209 @@
+// Package memtable implements the LSM memory component Cm (paper §2).
+//
+// Beyond the classic sorted map, entries carry the metadata TRIAD needs
+// (paper §4, "TRIAD Memory Overhead Analysis"): a 4-byte update-frequency
+// counter for TRIAD-MEM hot/cold separation, and the commit-log file ID and
+// offset of the most recent update for TRIAD-LOG's index-only flush.
+//
+// Updates are absorbed in place (Algorithm 1, Update): a second write to a
+// key replaces the value and increments the counter rather than appending a
+// version, which is precisely why a skewed workload fills the commit log
+// faster than the memtable.
+package memtable
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/base"
+	"repro/internal/skiplist"
+)
+
+// Entry is one memtable record with TRIAD metadata.
+type Entry struct {
+	Key   []byte
+	Value []byte
+	Seq   uint64
+	Kind  base.Kind
+	// Updates counts in-place updates to this key since it entered the
+	// memtable (TRIAD-MEM hotness signal).
+	Updates uint32
+	// LogID and LogOffset locate the most recent record for this key in
+	// the commit log (TRIAD-LOG).
+	LogID     uint64
+	LogOffset int64
+}
+
+// Base converts to the shared record type.
+func (e *Entry) Base() base.Entry {
+	return base.Entry{Key: e.Key, Value: e.Value, Seq: e.Seq, Kind: e.Kind}
+}
+
+// entryOverhead approximates per-entry bookkeeping bytes when accounting
+// memtable size, matching the paper's 12 B/entry TRIAD overhead plus the
+// skiplist node itself.
+const entryOverhead = 48
+
+// Memtable is a mutable sorted map. It is safe for concurrent use.
+type Memtable struct {
+	mu   sync.RWMutex
+	list *skiplist.List
+	size int64
+}
+
+// New returns an empty memtable; seed drives skiplist level randomness.
+func New(seed int64) *Memtable {
+	return &Memtable{list: skiplist.New(seed)}
+}
+
+// Set inserts or updates key. For an update the value is replaced in place,
+// the update counter is incremented and the commit-log position is advanced
+// to the new record (Algorithm 1, Update).
+func (m *Memtable) Set(key, value []byte, seq uint64, kind base.Kind, logID uint64, logOff int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if v, ok := m.list.Get(key); ok {
+		e := v.(*Entry)
+		m.size += int64(len(value)) - int64(len(e.Value))
+		e.Value = value
+		e.Seq = seq
+		e.Kind = kind
+		e.Updates++
+		e.LogID = logID
+		e.LogOffset = logOff
+		return
+	}
+	e := &Entry{Key: key, Value: value, Seq: seq, Kind: kind, Updates: 1, LogID: logID, LogOffset: logOff}
+	m.list.Set(key, e)
+	m.size += int64(len(key)+len(value)) + entryOverhead
+}
+
+// Get returns a copy of the entry stored under key.
+func (m *Memtable) Get(key []byte) (Entry, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	v, ok := m.list.Get(key)
+	if !ok {
+		return Entry{}, false
+	}
+	return *v.(*Entry), true
+}
+
+// Len reports the number of entries.
+func (m *Memtable) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.list.Len()
+}
+
+// ApproxSize reports the approximate heap footprint in bytes; the flush
+// trigger compares it against the configured memtable budget.
+func (m *Memtable) ApproxSize() int64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.size
+}
+
+// All returns every entry in ascending key order. The returned pointers
+// alias live entries; callers must only use them while the memtable is no
+// longer mutated (i.e. after it has been sealed for flush).
+func (m *Memtable) All() []*Entry {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]*Entry, 0, m.list.Len())
+	it := m.list.NewIterator()
+	for it.Next() {
+		out = append(out, it.Value().(*Entry))
+	}
+	return out
+}
+
+// SeekAll returns entries with key >= from, ascending.
+func (m *Memtable) SeekAll(from []byte) []*Entry {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var out []*Entry
+	it := m.list.NewIterator()
+	if !it.SeekGE(from) {
+		return nil
+	}
+	out = append(out, it.Value().(*Entry))
+	for it.Next() {
+		out = append(out, it.Value().(*Entry))
+	}
+	return out
+}
+
+// HotPolicy selects how SeparateKeys picks hot entries.
+type HotPolicy uint8
+
+const (
+	// HotTopK keeps the K most-updated entries (Algorithm 2,
+	// separateKeys, with K derived from a fraction of the memtable).
+	HotTopK HotPolicy = iota
+	// HotAboveMean keeps entries updated strictly more often than the
+	// mean update frequency — the variant §4.1 reports "is effective in
+	// all workloads".
+	HotAboveMean
+)
+
+// Separation is the result of hot/cold key separation.
+type Separation struct {
+	Hot  []*Entry // stay in memory, re-logged to the fresh commit log
+	Cold []*Entry // flushed to L0, ascending key order
+}
+
+// SeparateKeys splits the (sealed) memtable into hot and cold entry sets
+// per Algorithm 2. hotFraction bounds the hot set to that fraction of the
+// entry count when policy is HotTopK. Update counters of the hot survivors
+// are reset ("Reset hotness").
+func (m *Memtable) SeparateKeys(policy HotPolicy, hotFraction float64) Separation {
+	all := m.All()
+	if len(all) == 0 {
+		return Separation{}
+	}
+	var hotSet map[*Entry]bool
+	switch policy {
+	case HotAboveMean:
+		var sum uint64
+		for _, e := range all {
+			sum += uint64(e.Updates)
+		}
+		mean := float64(sum) / float64(len(all))
+		hotSet = make(map[*Entry]bool)
+		for _, e := range all {
+			if float64(e.Updates) > mean {
+				hotSet[e] = true
+			}
+		}
+	default: // HotTopK
+		k := int(float64(len(all)) * hotFraction)
+		if k <= 0 {
+			break
+		}
+		byUpdates := append([]*Entry(nil), all...)
+		sort.SliceStable(byUpdates, func(i, j int) bool {
+			return byUpdates[i].Updates > byUpdates[j].Updates
+		})
+		// Entries updated exactly once were never re-written; keeping
+		// them hot buys nothing and costs write-back, so the hot set
+		// stops at the first single-update entry.
+		hotSet = make(map[*Entry]bool, k)
+		for _, e := range byUpdates[:k] {
+			if e.Updates <= 1 {
+				break
+			}
+			hotSet[e] = true
+		}
+	}
+	var sep Separation
+	for _, e := range all {
+		if hotSet[e] {
+			e.Updates = 0 // reset hotness
+			sep.Hot = append(sep.Hot, e)
+		} else {
+			sep.Cold = append(sep.Cold, e)
+		}
+	}
+	return sep
+}

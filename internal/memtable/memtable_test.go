@@ -1,0 +1,209 @@
+package memtable
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/base"
+)
+
+func put(m *Memtable, key, val string, seq uint64) {
+	m.Set([]byte(key), []byte(val), seq, base.KindSet, 1, int64(seq)*100)
+}
+
+func TestSetGet(t *testing.T) {
+	m := New(1)
+	put(m, "a", "1", 1)
+	e, ok := m.Get([]byte("a"))
+	if !ok || string(e.Value) != "1" || e.Updates != 1 {
+		t.Fatalf("Get = %+v, %v", e, ok)
+	}
+	if _, ok := m.Get([]byte("b")); ok {
+		t.Fatal("Get of absent key returned ok")
+	}
+}
+
+func TestInPlaceUpdateIncrementsCounter(t *testing.T) {
+	m := New(1)
+	for i := 1; i <= 5; i++ {
+		put(m, "hot", fmt.Sprint(i), uint64(i))
+	}
+	e, _ := m.Get([]byte("hot"))
+	if e.Updates != 5 {
+		t.Fatalf("Updates = %d, want 5", e.Updates)
+	}
+	if string(e.Value) != "5" || e.Seq != 5 {
+		t.Fatalf("value/seq = %q/%d, want 5/5", e.Value, e.Seq)
+	}
+	if e.LogOffset != 500 {
+		t.Fatalf("LogOffset = %d, want most recent (500)", e.LogOffset)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (in-place)", m.Len())
+	}
+}
+
+func TestSizeTracksValueGrowth(t *testing.T) {
+	m := New(1)
+	put(m, "k", "short", 1)
+	s1 := m.ApproxSize()
+	put(m, "k", "a-much-longer-value-now", 2)
+	if m.ApproxSize() <= s1 {
+		t.Fatal("size did not grow with larger value")
+	}
+	put(m, "k", "s", 3)
+	if m.ApproxSize() >= s1 {
+		t.Fatal("size did not shrink with smaller value")
+	}
+}
+
+func TestTombstone(t *testing.T) {
+	m := New(1)
+	put(m, "k", "v", 1)
+	m.Set([]byte("k"), nil, 2, base.KindDelete, 1, 0)
+	e, ok := m.Get([]byte("k"))
+	if !ok || e.Kind != base.KindDelete {
+		t.Fatalf("tombstone lookup = %+v, %v", e, ok)
+	}
+	if e.Updates != 2 {
+		t.Fatalf("Updates = %d, want 2 (delete counts as update)", e.Updates)
+	}
+}
+
+func TestAllSorted(t *testing.T) {
+	m := New(1)
+	for _, k := range []string{"d", "a", "c", "b"} {
+		put(m, k, k, 1)
+	}
+	all := m.All()
+	want := []string{"a", "b", "c", "d"}
+	if len(all) != 4 {
+		t.Fatalf("All returned %d entries", len(all))
+	}
+	for i, e := range all {
+		if string(e.Key) != want[i] {
+			t.Fatalf("All[%d] = %q, want %q", i, e.Key, want[i])
+		}
+	}
+}
+
+func TestSeekAll(t *testing.T) {
+	m := New(1)
+	for i := 0; i < 10; i++ {
+		put(m, fmt.Sprintf("%02d", i), "v", uint64(i+1))
+	}
+	got := m.SeekAll([]byte("05"))
+	if len(got) != 5 || string(got[0].Key) != "05" {
+		t.Fatalf("SeekAll(05) = %d entries starting %q", len(got), got[0].Key)
+	}
+	if m.SeekAll([]byte("99")) != nil {
+		t.Fatal("SeekAll past end returned entries")
+	}
+}
+
+func makeSkewed(t *testing.T) *Memtable {
+	t.Helper()
+	m := New(1)
+	seq := uint64(0)
+	// 10 hot keys updated 20x each, 90 cold keys written once.
+	for round := 0; round < 20; round++ {
+		for h := 0; h < 10; h++ {
+			seq++
+			put(m, fmt.Sprintf("hot%02d", h), fmt.Sprint(round), seq)
+		}
+	}
+	for c := 0; c < 90; c++ {
+		seq++
+		put(m, fmt.Sprintf("cold%02d", c), "v", seq)
+	}
+	return m
+}
+
+func TestSeparateKeysTopK(t *testing.T) {
+	m := makeSkewed(t)
+	sep := m.SeparateKeys(HotTopK, 0.10) // top 10% of 100 entries = 10
+	if len(sep.Hot) != 10 {
+		t.Fatalf("hot = %d, want 10", len(sep.Hot))
+	}
+	if len(sep.Cold) != 90 {
+		t.Fatalf("cold = %d, want 90", len(sep.Cold))
+	}
+	for _, e := range sep.Hot {
+		if string(e.Key[:3]) != "hot" {
+			t.Fatalf("cold key %q classified hot", e.Key)
+		}
+		if e.Updates != 0 {
+			t.Fatalf("hot key %q hotness not reset: %d", e.Key, e.Updates)
+		}
+	}
+	// Cold output must be sorted (it feeds the SSTable writer).
+	for i := 1; i < len(sep.Cold); i++ {
+		if string(sep.Cold[i-1].Key) >= string(sep.Cold[i].Key) {
+			t.Fatal("cold entries not sorted")
+		}
+	}
+}
+
+func TestSeparateKeysAboveMean(t *testing.T) {
+	m := makeSkewed(t)
+	sep := m.SeparateKeys(HotAboveMean, 0)
+	// Mean updates = (10*20 + 90*1)/100 = 2.9; only the 20x keys exceed it.
+	if len(sep.Hot) != 10 {
+		t.Fatalf("hot = %d, want 10", len(sep.Hot))
+	}
+}
+
+func TestSeparateKeysSingleUpdateNeverHot(t *testing.T) {
+	m := New(1)
+	for i := 0; i < 100; i++ {
+		put(m, fmt.Sprintf("%02d", i), "v", uint64(i+1))
+	}
+	sep := m.SeparateKeys(HotTopK, 0.5)
+	if len(sep.Hot) != 0 {
+		t.Fatalf("uniform single-write memtable produced %d hot keys, want 0", len(sep.Hot))
+	}
+	if len(sep.Cold) != 100 {
+		t.Fatalf("cold = %d, want 100", len(sep.Cold))
+	}
+}
+
+func TestSeparateKeysEmpty(t *testing.T) {
+	m := New(1)
+	sep := m.SeparateKeys(HotTopK, 0.5)
+	if sep.Hot != nil || sep.Cold != nil {
+		t.Fatal("empty memtable separation returned entries")
+	}
+}
+
+func TestSeparateKeysZeroFraction(t *testing.T) {
+	m := makeSkewed(t)
+	sep := m.SeparateKeys(HotTopK, 0)
+	if len(sep.Hot) != 0 || len(sep.Cold) != 100 {
+		t.Fatalf("zero fraction: hot=%d cold=%d", len(sep.Hot), len(sep.Cold))
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	m := New(1)
+	done := make(chan bool, 8)
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			for i := 0; i < 1000; i++ {
+				m.Set([]byte(fmt.Sprintf("g%d-%d", g, i%50)), []byte("v"), uint64(i), base.KindSet, 0, 0)
+			}
+			done <- true
+		}(g)
+		go func(g int) {
+			for i := 0; i < 1000; i++ {
+				m.Get([]byte(fmt.Sprintf("g%d-%d", g, i%50)))
+			}
+			done <- true
+		}(g)
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+	if m.Len() != 200 {
+		t.Fatalf("Len = %d, want 200", m.Len())
+	}
+}

@@ -1,0 +1,140 @@
+// Package metrics collects the evaluation metrics of the paper (§5.1):
+// throughput is measured by the harness; this package tracks the I/O-side
+// quantities — bytes flushed / compacted / logged, user bytes, disk reads
+// per Get, background wall time — from which write amplification (WA),
+// read amplification (RA) and %-time-in-compaction are derived.
+package metrics
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Metrics is a set of cumulative counters. All methods are safe for
+// concurrent use. The zero value is ready.
+type Metrics struct {
+	// User-side.
+	UserWrites     atomic.Int64 // Put/Delete operations
+	UserReads      atomic.Int64 // Get operations
+	UserBytes      atomic.Int64 // key+value bytes written by the application
+	ReadsFromMem   atomic.Int64 // Gets answered by a memtable
+	TableDiskReads atomic.Int64 // data-block/log reads performed by Gets
+
+	// Storage-side writes, by origin.
+	BytesLogged    atomic.Int64 // commit-log appends (incl. TRIAD-MEM write-back)
+	BytesFlushed   atomic.Int64 // flush output (SSTables, or CL indexes under TRIAD-LOG)
+	BytesCompacted atomic.Int64 // compaction output
+
+	// Background operation counts and wall time.
+	Flushes            atomic.Int64
+	FlushSkips         atomic.Int64 // TRIAD-MEM FLUSH_TH small-memtable skips
+	Compactions        atomic.Int64
+	CompactionsDefer   atomic.Int64 // TRIAD-DISK deferrals
+	FlushNanos         atomic.Int64
+	CompactionNanos    atomic.Int64
+	EntriesCompacted   atomic.Int64
+	EntriesDiscarded   atomic.Int64 // stale versions dropped by compaction
+	HotKeysKeptInMem   atomic.Int64 // TRIAD-MEM hot survivors across flushes
+	ColdEntriesFlushed atomic.Int64
+}
+
+// Snapshot is a point-in-time copy with derived metrics.
+type Snapshot struct {
+	UserWrites, UserReads, UserBytes          int64
+	ReadsFromMem, TableDiskReads              int64
+	BytesLogged, BytesFlushed, BytesCompacted int64
+	Flushes, FlushSkips                       int64
+	Compactions, CompactionsDeferred          int64
+	FlushTime, CompactionTime                 time.Duration
+	EntriesCompacted, EntriesDiscarded        int64
+	HotKeysKeptInMem, ColdEntriesFlushed      int64
+}
+
+// Snapshot captures the current counters.
+func (m *Metrics) Snapshot() Snapshot {
+	return Snapshot{
+		UserWrites:          m.UserWrites.Load(),
+		UserReads:           m.UserReads.Load(),
+		UserBytes:           m.UserBytes.Load(),
+		ReadsFromMem:        m.ReadsFromMem.Load(),
+		TableDiskReads:      m.TableDiskReads.Load(),
+		BytesLogged:         m.BytesLogged.Load(),
+		BytesFlushed:        m.BytesFlushed.Load(),
+		BytesCompacted:      m.BytesCompacted.Load(),
+		Flushes:             m.Flushes.Load(),
+		FlushSkips:          m.FlushSkips.Load(),
+		Compactions:         m.Compactions.Load(),
+		CompactionsDeferred: m.CompactionsDefer.Load(),
+		FlushTime:           time.Duration(m.FlushNanos.Load()),
+		CompactionTime:      time.Duration(m.CompactionNanos.Load()),
+		EntriesCompacted:    m.EntriesCompacted.Load(),
+		EntriesDiscarded:    m.EntriesDiscarded.Load(),
+		HotKeysKeptInMem:    m.HotKeysKeptInMem.Load(),
+		ColdEntriesFlushed:  m.ColdEntriesFlushed.Load(),
+	}
+}
+
+// Sub returns s - earlier, counter-wise (for measuring a window).
+func (s Snapshot) Sub(earlier Snapshot) Snapshot {
+	return Snapshot{
+		UserWrites:          s.UserWrites - earlier.UserWrites,
+		UserReads:           s.UserReads - earlier.UserReads,
+		UserBytes:           s.UserBytes - earlier.UserBytes,
+		ReadsFromMem:        s.ReadsFromMem - earlier.ReadsFromMem,
+		TableDiskReads:      s.TableDiskReads - earlier.TableDiskReads,
+		BytesLogged:         s.BytesLogged - earlier.BytesLogged,
+		BytesFlushed:        s.BytesFlushed - earlier.BytesFlushed,
+		BytesCompacted:      s.BytesCompacted - earlier.BytesCompacted,
+		Flushes:             s.Flushes - earlier.Flushes,
+		FlushSkips:          s.FlushSkips - earlier.FlushSkips,
+		Compactions:         s.Compactions - earlier.Compactions,
+		CompactionsDeferred: s.CompactionsDeferred - earlier.CompactionsDeferred,
+		FlushTime:           s.FlushTime - earlier.FlushTime,
+		CompactionTime:      s.CompactionTime - earlier.CompactionTime,
+		EntriesCompacted:    s.EntriesCompacted - earlier.EntriesCompacted,
+		EntriesDiscarded:    s.EntriesDiscarded - earlier.EntriesDiscarded,
+		HotKeysKeptInMem:    s.HotKeysKeptInMem - earlier.HotKeysKeptInMem,
+		ColdEntriesFlushed:  s.ColdEntriesFlushed - earlier.ColdEntriesFlushed,
+	}
+}
+
+// WriteAmplification is the system-wide WA: every byte the store wrote
+// (log + flush + compaction) per user byte. This is the conventional
+// whole-system definition; it subsumes the paper's flush-relative formula
+// and produces the same orderings.
+func (s Snapshot) WriteAmplification() float64 {
+	if s.UserBytes == 0 {
+		return 0
+	}
+	return float64(s.BytesLogged+s.BytesFlushed+s.BytesCompacted) / float64(s.UserBytes)
+}
+
+// FlushRelativeWA is the paper's §5.1 formula:
+// (Bytes_flushed + Bytes_compacted) / Bytes_flushed.
+func (s Snapshot) FlushRelativeWA() float64 {
+	if s.BytesFlushed == 0 {
+		return 0
+	}
+	return float64(s.BytesFlushed+s.BytesCompacted) / float64(s.BytesFlushed)
+}
+
+// ReadAmplification is the average number of disk accesses per Get.
+func (s Snapshot) ReadAmplification() float64 {
+	if s.UserReads == 0 {
+		return 0
+	}
+	return float64(s.TableDiskReads) / float64(s.UserReads)
+}
+
+// BackgroundTime is total flush + compaction wall time.
+func (s Snapshot) BackgroundTime() time.Duration { return s.FlushTime + s.CompactionTime }
+
+// PercentTimeInCompaction reports compaction time as a percentage of
+// elapsed (one background worker, so directly comparable to the paper's
+// per-run percentage).
+func (s Snapshot) PercentTimeInCompaction(elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return 100 * float64(s.CompactionTime) / float64(elapsed)
+}

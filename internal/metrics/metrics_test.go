@@ -1,0 +1,85 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSnapshotAndDerived(t *testing.T) {
+	var m Metrics
+	m.UserBytes.Add(1000)
+	m.UserWrites.Add(10)
+	m.UserReads.Add(4)
+	m.BytesLogged.Add(1000)
+	m.BytesFlushed.Add(900)
+	m.BytesCompacted.Add(2100)
+	m.TableDiskReads.Add(12)
+	m.FlushNanos.Add(int64(200 * time.Millisecond))
+	m.CompactionNanos.Add(int64(300 * time.Millisecond))
+
+	s := m.Snapshot()
+	if got := s.WriteAmplification(); got != 4.0 {
+		t.Fatalf("WA = %.2f, want 4.0", got)
+	}
+	// Paper formula: (flushed + compacted) / flushed.
+	if got := s.FlushRelativeWA(); got < 3.33 || got > 3.34 {
+		t.Fatalf("flush-relative WA = %.3f, want ≈3.333", got)
+	}
+	if got := s.ReadAmplification(); got != 3.0 {
+		t.Fatalf("RA = %.2f, want 3.0", got)
+	}
+	if got := s.BackgroundTime(); got != 500*time.Millisecond {
+		t.Fatalf("BackgroundTime = %v", got)
+	}
+	if got := s.PercentTimeInCompaction(time.Second); got != 30 {
+		t.Fatalf("PctCompaction = %.1f, want 30", got)
+	}
+}
+
+func TestZeroDenominators(t *testing.T) {
+	var s Snapshot
+	if s.WriteAmplification() != 0 || s.ReadAmplification() != 0 || s.FlushRelativeWA() != 0 {
+		t.Fatal("zero-denominator metrics must be 0")
+	}
+	if s.PercentTimeInCompaction(0) != 0 {
+		t.Fatal("zero elapsed must be 0")
+	}
+}
+
+func TestSub(t *testing.T) {
+	var m Metrics
+	m.UserBytes.Add(100)
+	m.Flushes.Add(1)
+	before := m.Snapshot()
+	m.UserBytes.Add(50)
+	m.Flushes.Add(2)
+	m.CompactionNanos.Add(int64(time.Second))
+	window := m.Snapshot().Sub(before)
+	if window.UserBytes != 50 || window.Flushes != 2 {
+		t.Fatalf("window = %+v", window)
+	}
+	if window.CompactionTime != time.Second {
+		t.Fatalf("window compaction time = %v", window.CompactionTime)
+	}
+}
+
+func TestConcurrentCounters(t *testing.T) {
+	var m Metrics
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				m.UserWrites.Add(1)
+				m.UserBytes.Add(10)
+			}
+		}()
+	}
+	wg.Wait()
+	s := m.Snapshot()
+	if s.UserWrites != 8000 || s.UserBytes != 80000 {
+		t.Fatalf("counters = %d/%d", s.UserWrites, s.UserBytes)
+	}
+}

@@ -1,0 +1,160 @@
+// Package skiplist implements a randomized skip list keyed by byte slices.
+//
+// It is the ordered-map substrate underneath the memtable. Values are
+// opaque unsafe-free interface payloads owned by the caller; the list never
+// copies keys or values. The zero value is not usable; use New.
+//
+// Concurrency: the list itself is not synchronized. The memtable wraps it
+// with its own lock, which also covers the per-entry metadata TRIAD needs
+// (update counters, commit-log offsets).
+package skiplist
+
+import (
+	"bytes"
+	"math/rand"
+)
+
+const (
+	maxHeight = 16
+	// pInv is the inverse branching probability: a node of height h is
+	// promoted to h+1 with probability 1/pInv.
+	pInv = 4
+)
+
+type node struct {
+	key   []byte
+	value any
+	next  []*node
+}
+
+// List is a skip list mapping byte-slice keys to arbitrary values.
+type List struct {
+	head   *node
+	height int
+	length int
+	rng    *rand.Rand
+}
+
+// New returns an empty list whose level randomness is drawn from seed.
+// Deterministic seeding keeps tests and experiments reproducible.
+func New(seed int64) *List {
+	return &List{
+		head:   &node{next: make([]*node, maxHeight)},
+		height: 1,
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Len reports the number of entries.
+func (l *List) Len() int { return l.length }
+
+func (l *List) randomHeight() int {
+	h := 1
+	for h < maxHeight && l.rng.Intn(pInv) == 0 {
+		h++
+	}
+	return h
+}
+
+// findGE returns the first node with key >= key, along with the per-level
+// predecessors (when prev is non-nil).
+func (l *List) findGE(key []byte, prev []*node) *node {
+	x := l.head
+	for i := l.height - 1; i >= 0; i-- {
+		for x.next[i] != nil && bytes.Compare(x.next[i].key, key) < 0 {
+			x = x.next[i]
+		}
+		if prev != nil {
+			prev[i] = x
+		}
+	}
+	return x.next[0]
+}
+
+// Get returns the value stored under key, or (nil, false).
+func (l *List) Get(key []byte) (any, bool) {
+	n := l.findGE(key, nil)
+	if n != nil && bytes.Equal(n.key, key) {
+		return n.value, true
+	}
+	return nil, false
+}
+
+// Set inserts key with value, or replaces the value if key is present.
+// It returns the previous value, if any.
+func (l *List) Set(key []byte, value any) (prev any, replaced bool) {
+	var prevs [maxHeight]*node
+	n := l.findGE(key, prevs[:])
+	if n != nil && bytes.Equal(n.key, key) {
+		old := n.value
+		n.value = value
+		return old, true
+	}
+	h := l.randomHeight()
+	if h > l.height {
+		for i := l.height; i < h; i++ {
+			prevs[i] = l.head
+		}
+		l.height = h
+	}
+	nn := &node{key: key, value: value, next: make([]*node, h)}
+	for i := 0; i < h; i++ {
+		nn.next[i] = prevs[i].next[i]
+		prevs[i].next[i] = nn
+	}
+	l.length++
+	return nil, false
+}
+
+// Delete removes key, reporting whether it was present.
+func (l *List) Delete(key []byte) bool {
+	var prevs [maxHeight]*node
+	n := l.findGE(key, prevs[:])
+	if n == nil || !bytes.Equal(n.key, key) {
+		return false
+	}
+	for i := 0; i < len(n.next); i++ {
+		if prevs[i].next[i] == n {
+			prevs[i].next[i] = n.next[i]
+		}
+	}
+	for l.height > 1 && l.head.next[l.height-1] == nil {
+		l.height--
+	}
+	l.length--
+	return true
+}
+
+// Iterator walks the list in ascending key order.
+type Iterator struct {
+	list *List
+	node *node
+}
+
+// NewIterator returns an iterator positioned before the first entry;
+// call Next to advance to it.
+func (l *List) NewIterator() *Iterator {
+	return &Iterator{list: l, node: l.head}
+}
+
+// Next advances and reports whether an entry is available.
+func (it *Iterator) Next() bool {
+	if it.node == nil {
+		return false
+	}
+	it.node = it.node.next[0]
+	return it.node != nil
+}
+
+// SeekGE positions the iterator at the first entry with key >= key and
+// reports whether such an entry exists.
+func (it *Iterator) SeekGE(key []byte) bool {
+	it.node = it.list.findGE(key, nil)
+	return it.node != nil
+}
+
+// Key returns the current key. Valid only after a true Next/SeekGE.
+func (it *Iterator) Key() []byte { return it.node.key }
+
+// Value returns the current value. Valid only after a true Next/SeekGE.
+func (it *Iterator) Value() any { return it.node.value }

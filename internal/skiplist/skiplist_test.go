@@ -1,0 +1,176 @@
+package skiplist
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	l := New(1)
+	if l.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", l.Len())
+	}
+	if _, ok := l.Get([]byte("a")); ok {
+		t.Fatal("Get on empty list returned ok")
+	}
+	if l.Delete([]byte("a")) {
+		t.Fatal("Delete on empty list returned true")
+	}
+	it := l.NewIterator()
+	if it.Next() {
+		t.Fatal("iterator on empty list advanced")
+	}
+}
+
+func TestSetGetReplace(t *testing.T) {
+	l := New(1)
+	if _, replaced := l.Set([]byte("k"), 1); replaced {
+		t.Fatal("first Set reported replaced")
+	}
+	prev, replaced := l.Set([]byte("k"), 2)
+	if !replaced || prev.(int) != 1 {
+		t.Fatalf("replace: got (%v, %v), want (1, true)", prev, replaced)
+	}
+	v, ok := l.Get([]byte("k"))
+	if !ok || v.(int) != 2 {
+		t.Fatalf("Get = (%v, %v), want (2, true)", v, ok)
+	}
+	if l.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", l.Len())
+	}
+}
+
+func TestDelete(t *testing.T) {
+	l := New(2)
+	for i := 0; i < 100; i++ {
+		l.Set([]byte(fmt.Sprintf("key%03d", i)), i)
+	}
+	for i := 0; i < 100; i += 2 {
+		if !l.Delete([]byte(fmt.Sprintf("key%03d", i))) {
+			t.Fatalf("Delete key%03d returned false", i)
+		}
+	}
+	if l.Len() != 50 {
+		t.Fatalf("Len = %d, want 50", l.Len())
+	}
+	for i := 0; i < 100; i++ {
+		_, ok := l.Get([]byte(fmt.Sprintf("key%03d", i)))
+		if want := i%2 == 1; ok != want {
+			t.Fatalf("Get key%03d = %v, want %v", i, ok, want)
+		}
+	}
+}
+
+func TestIterationSorted(t *testing.T) {
+	l := New(3)
+	rng := rand.New(rand.NewSource(7))
+	n := 1000
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("%08d", rng.Intn(10*n))
+		l.Set([]byte(k), i)
+	}
+	var prev string
+	count := 0
+	it := l.NewIterator()
+	for it.Next() {
+		k := string(it.Key())
+		if count > 0 && k <= prev {
+			t.Fatalf("keys out of order: %q after %q", k, prev)
+		}
+		prev = k
+		count++
+	}
+	if count != l.Len() {
+		t.Fatalf("iterated %d entries, Len = %d", count, l.Len())
+	}
+}
+
+func TestSeekGE(t *testing.T) {
+	l := New(4)
+	for i := 0; i < 100; i += 10 {
+		l.Set([]byte(fmt.Sprintf("%03d", i)), i)
+	}
+	it := l.NewIterator()
+	if !it.SeekGE([]byte("015")) {
+		t.Fatal("SeekGE(015) found nothing")
+	}
+	if string(it.Key()) != "020" {
+		t.Fatalf("SeekGE(015) = %q, want 020", it.Key())
+	}
+	if !it.SeekGE([]byte("090")) || string(it.Key()) != "090" {
+		t.Fatal("SeekGE(exact) failed")
+	}
+	if it.SeekGE([]byte("091")) {
+		t.Fatalf("SeekGE past the end found %q", it.Key())
+	}
+}
+
+// TestQuickAgainstMap drives random operations against a map oracle.
+func TestQuickAgainstMap(t *testing.T) {
+	check := func(seed int64, ops []uint16) bool {
+		l := New(seed)
+		oracle := map[string]uint16{}
+		for i, op := range ops {
+			key := []byte(fmt.Sprintf("%04d", op%512))
+			switch i % 3 {
+			case 0, 1:
+				l.Set(key, op)
+				oracle[string(key)] = op
+			case 2:
+				got := l.Delete(key)
+				_, want := oracle[string(key)]
+				if got != want {
+					return false
+				}
+				delete(oracle, string(key))
+			}
+		}
+		if l.Len() != len(oracle) {
+			return false
+		}
+		// Full scan must equal the sorted oracle.
+		keys := make([]string, 0, len(oracle))
+		for k := range oracle {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		it := l.NewIterator()
+		for _, k := range keys {
+			if !it.Next() || string(it.Key()) != k || it.Value().(uint16) != oracle[k] {
+				return false
+			}
+		}
+		return !it.Next()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSet(b *testing.B) {
+	l := New(1)
+	keys := make([][]byte, 1<<16)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("%08d", i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Set(keys[i%len(keys)], i)
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	l := New(1)
+	keys := make([][]byte, 1<<16)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("%08d", i))
+		l.Set(keys[i], i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Get(keys[i%len(keys)])
+	}
+}

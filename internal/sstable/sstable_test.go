@@ -1,0 +1,456 @@
+package sstable
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/base"
+	"repro/internal/vfs"
+	"repro/internal/wal"
+)
+
+func buildTable(t testing.TB, fs vfs.FS, id uint64, n int) *Reader {
+	t.Helper()
+	w, err := NewWriter(fs, id, 512) // small blocks to exercise the index
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		e := base.Entry{
+			Key:   []byte(fmt.Sprintf("key-%05d", i)),
+			Value: []byte(fmt.Sprintf("value-%d", i*3)),
+			Seq:   uint64(i + 1),
+			Kind:  base.KindSet,
+		}
+		if err := w.Add(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(fs, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	fs := vfs.NewMemFS()
+	r := buildTable(t, fs, 1, 1000)
+	defer r.Close()
+	if r.NumEntries() != 1000 {
+		t.Fatalf("NumEntries = %d", r.NumEntries())
+	}
+	if string(r.Smallest()) != "key-00000" || string(r.Largest()) != "key-00999" {
+		t.Fatalf("bounds = %q..%q", r.Smallest(), r.Largest())
+	}
+	for _, i := range []int{0, 1, 499, 500, 998, 999} {
+		key := []byte(fmt.Sprintf("key-%05d", i))
+		e, found, reads, err := r.Get(key)
+		if err != nil || !found {
+			t.Fatalf("Get(%s) = found=%v err=%v", key, found, err)
+		}
+		if string(e.Value) != fmt.Sprintf("value-%d", i*3) {
+			t.Fatalf("Get(%s) value = %q", key, e.Value)
+		}
+		if reads != 1 {
+			t.Fatalf("Get(%s) disk reads = %d, want 1", key, reads)
+		}
+	}
+}
+
+func TestGetAbsent(t *testing.T) {
+	fs := vfs.NewMemFS()
+	r := buildTable(t, fs, 1, 100)
+	defer r.Close()
+	// Out of range: zero disk reads.
+	_, found, reads, _ := r.Get([]byte("aaa"))
+	if found || reads != 0 {
+		t.Fatalf("below-range Get: found=%v reads=%d", found, reads)
+	}
+	_, found, reads, _ = r.Get([]byte("zzz"))
+	if found || reads != 0 {
+		t.Fatalf("above-range Get: found=%v reads=%d", found, reads)
+	}
+	// In range but absent: the Bloom filter should usually skip (0
+	// reads); occasionally a false positive costs 1. Never found.
+	fpReads := 0
+	for i := 0; i < 1000; i++ {
+		_, found, reads, err := r.Get([]byte(fmt.Sprintf("key-%05d-x", i)))
+		if err != nil || found {
+			t.Fatalf("absent Get: found=%v err=%v", found, err)
+		}
+		fpReads += reads
+	}
+	if fpReads > 100 {
+		t.Fatalf("absent in-range probes cost %d reads; bloom filter broken?", fpReads)
+	}
+}
+
+func TestIteratorFullScan(t *testing.T) {
+	fs := vfs.NewMemFS()
+	r := buildTable(t, fs, 1, 500)
+	defer r.Close()
+	it, err := r.NewIterator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	i := 0
+	for it.Next() {
+		want := fmt.Sprintf("key-%05d", i)
+		if string(it.Entry().Key) != want {
+			t.Fatalf("entry %d = %q, want %q", i, it.Entry().Key, want)
+		}
+		i++
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if i != 500 {
+		t.Fatalf("iterated %d entries, want 500", i)
+	}
+}
+
+func TestIteratorSeekGE(t *testing.T) {
+	fs := vfs.NewMemFS()
+	r := buildTable(t, fs, 1, 500)
+	defer r.Close()
+	it, _ := r.NewIterator()
+	defer it.Close()
+	if !it.SeekGE([]byte("key-00250")) || string(it.Entry().Key) != "key-00250" {
+		t.Fatalf("SeekGE exact failed: %q", it.Entry().Key)
+	}
+	if !it.SeekGE([]byte("key-00250a")) || string(it.Entry().Key) != "key-00251" {
+		t.Fatalf("SeekGE between failed: %q", it.Entry().Key)
+	}
+	if !it.SeekGE([]byte("a")) || string(it.Entry().Key) != "key-00000" {
+		t.Fatalf("SeekGE before-first failed: %q", it.Entry().Key)
+	}
+	if it.SeekGE([]byte("zzz")) {
+		t.Fatal("SeekGE past-end succeeded")
+	}
+}
+
+func TestOutOfOrderAddFails(t *testing.T) {
+	fs := vfs.NewMemFS()
+	w, _ := NewWriter(fs, 1, 0)
+	if err := w.Add(base.Entry{Key: []byte("b"), Kind: base.KindSet}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Add(base.Entry{Key: []byte("a"), Kind: base.KindSet}); err == nil {
+		t.Fatal("out-of-order Add succeeded")
+	}
+	if err := w.Add(base.Entry{Key: []byte("b"), Kind: base.KindSet}); err == nil {
+		t.Fatal("duplicate Add succeeded")
+	}
+	w.Abort(fs)
+	if fs.Exists(FileName(1)) {
+		t.Fatal("Abort left the file behind")
+	}
+}
+
+func TestTombstonesRoundTrip(t *testing.T) {
+	fs := vfs.NewMemFS()
+	w, _ := NewWriter(fs, 1, 0)
+	w.Add(base.Entry{Key: []byte("alive"), Value: []byte("v"), Seq: 1, Kind: base.KindSet})
+	w.Add(base.Entry{Key: []byte("dead"), Seq: 2, Kind: base.KindDelete})
+	if _, err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(fs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	e, found, _, err := r.Get([]byte("dead"))
+	if err != nil || !found || e.Kind != base.KindDelete || e.Value != nil {
+		t.Fatalf("tombstone Get = %+v found=%v err=%v", e, found, err)
+	}
+}
+
+func TestSketchSurvives(t *testing.T) {
+	fs := vfs.NewMemFS()
+	r := buildTable(t, fs, 1, 5000)
+	defer r.Close()
+	est := float64(r.Sketch().Estimate())
+	if est < 4500 || est > 5500 {
+		t.Fatalf("persisted sketch estimate = %.0f, want ≈5000", est)
+	}
+	if r.Sketch().Count() != 5000 {
+		t.Fatalf("persisted sketch count = %d", r.Sketch().Count())
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	fs := vfs.NewMemFS()
+	if _, err := Open(fs, 99); err == nil {
+		t.Fatal("Open missing table succeeded")
+	}
+	// Too-short file.
+	f, _ := fs.Create(FileName(2))
+	f.Write([]byte("tiny"))
+	f.Close()
+	if _, err := Open(fs, 2); err == nil {
+		t.Fatal("Open truncated table succeeded")
+	}
+	// Bad magic.
+	f, _ = fs.Create(FileName(3))
+	f.Write(make([]byte, 100))
+	f.Close()
+	if _, err := Open(fs, 3); err == nil {
+		t.Fatal("Open corrupt table succeeded")
+	}
+}
+
+// --- CL-SSTable ---
+
+// buildCL writes n entries through a WAL and builds a CL-SSTable over it,
+// mirroring what a TRIAD-LOG flush does.
+func buildCL(t testing.TB, fs vfs.FS, clID, logID uint64, n int) *CLReader {
+	t.Helper()
+	lw, err := wal.NewWriter(fs, logID, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type pos struct {
+		off  int64
+		kind base.Kind
+		seq  uint64
+	}
+	latest := map[string]pos{}
+	seq := uint64(0)
+	// Two updates per key so the log holds stale versions, like reality.
+	for round := 0; round < 2; round++ {
+		for i := 0; i < n; i++ {
+			seq++
+			key := fmt.Sprintf("key-%05d", i)
+			kind := base.KindSet
+			val := []byte(fmt.Sprintf("r%d-value-%d", round, i))
+			if round == 1 && i%10 == 0 {
+				kind = base.KindDelete
+				val = nil
+			}
+			off, _, err := lw.Append(base.Entry{Key: []byte(key), Value: val, Seq: seq, Kind: kind})
+			if err != nil {
+				t.Fatal(err)
+			}
+			latest[key] = pos{off, kind, seq}
+		}
+	}
+	if err := lw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cw, err := NewCLWriter(fs, clID, logID, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("key-%05d", i)
+		p := latest[key]
+		if err := cw.Add([]byte(key), p.seq, p.kind, p.off); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := cw.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenCL(fs, clID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestCLSSTableGet(t *testing.T) {
+	fs := vfs.NewMemFS()
+	r := buildCL(t, fs, 10, 5, 200)
+	defer r.Close()
+	if r.LogID() != 5 {
+		t.Fatalf("LogID = %d", r.LogID())
+	}
+	e, found, reads, err := r.Get([]byte("key-00007"))
+	if err != nil || !found {
+		t.Fatalf("Get: found=%v err=%v", found, err)
+	}
+	if string(e.Value) != "r1-value-7" {
+		t.Fatalf("Get returned stale value %q", e.Value)
+	}
+	if reads != 2 { // one index block + one log record
+		t.Fatalf("disk reads = %d, want 2", reads)
+	}
+	// Deleted key resolves to a tombstone without touching the log.
+	e, found, reads, err = r.Get([]byte("key-00010"))
+	if err != nil || !found || e.Kind != base.KindDelete {
+		t.Fatalf("tombstone Get = %+v found=%v err=%v", e, found, err)
+	}
+	if reads != 1 {
+		t.Fatalf("tombstone disk reads = %d, want 1 (no log access)", reads)
+	}
+	if _, found, _, _ := r.Get([]byte("nope")); found {
+		t.Fatal("absent key found")
+	}
+}
+
+func TestCLSSTableIterator(t *testing.T) {
+	fs := vfs.NewMemFS()
+	r := buildCL(t, fs, 10, 5, 100)
+	defer r.Close()
+	it, err := r.NewIterator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	i := 0
+	for it.Next() {
+		e := it.Entry()
+		want := fmt.Sprintf("key-%05d", i)
+		if string(e.Key) != want {
+			t.Fatalf("entry %d key = %q", i, e.Key)
+		}
+		if i%10 == 0 {
+			if e.Kind != base.KindDelete {
+				t.Fatalf("entry %d should be a tombstone", i)
+			}
+		} else if string(e.Value) != fmt.Sprintf("r1-value-%d", i) {
+			t.Fatalf("entry %d value = %q", i, e.Value)
+		}
+		i++
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if i != 100 {
+		t.Fatalf("iterated %d, want 100", i)
+	}
+	// SeekGE through the CL index.
+	if !it.SeekGE([]byte("key-00050")) || string(it.Entry().Key) != "key-00050" {
+		t.Fatalf("SeekGE = %q", it.Entry().Key)
+	}
+}
+
+// TestCLSSTableMuchSmallerThanData checks the premise of TRIAD-LOG: with
+// paper-sized records (8 B keys, 255 B values), flushing the index costs a
+// small fraction of re-writing the data.
+func TestCLSSTableMuchSmallerThanData(t *testing.T) {
+	fs := vfs.NewMemFS()
+	lw, err := wal.NewWriter(fs, 5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 1000
+	offs := make([]int64, n)
+	val := bytes.Repeat([]byte{'v'}, 255)
+	for i := 0; i < n; i++ {
+		off, _, err := lw.Append(base.Entry{Key: []byte(fmt.Sprintf("%08d", i)), Value: val, Seq: uint64(i + 1), Kind: base.KindSet})
+		if err != nil {
+			t.Fatal(err)
+		}
+		offs[i] = off
+	}
+	lw.Close()
+	cw, err := NewCLWriter(fs, 10, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := cw.Add([]byte(fmt.Sprintf("%08d", i)), uint64(i+1), base.KindSet, offs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	idxBytes, err := cw.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	logF, _ := fs.Open(wal.FileName(5))
+	logSize, _ := logF.Size()
+	logF.Close()
+	if idxBytes*5 > logSize {
+		t.Fatalf("CL index (%d B) not ≤ 1/5 of log (%d B)", idxBytes, logSize)
+	}
+}
+
+func TestCLOpenWithoutLogFails(t *testing.T) {
+	fs := vfs.NewMemFS()
+	r := buildCL(t, fs, 10, 5, 10)
+	r.Close()
+	if err := fs.Remove(wal.FileName(5)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenCL(fs, 10); err == nil {
+		t.Fatal("OpenCL without backing log succeeded")
+	}
+}
+
+// TestQuickTableRoundTrip: random sorted key sets survive the classic
+// table round trip.
+func TestQuickTableRoundTrip(t *testing.T) {
+	var id uint64
+	check := func(n uint16, valSize uint8) bool {
+		id++
+		fs := vfs.NewMemFS()
+		count := int(n%500) + 1
+		w, err := NewWriter(fs, id, 256)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < count; i++ {
+			e := base.Entry{
+				Key:   []byte(fmt.Sprintf("%06d", i)),
+				Value: bytes.Repeat([]byte{byte(i)}, int(valSize)),
+				Seq:   uint64(i + 1),
+				Kind:  base.KindSet,
+			}
+			if valSize == 0 {
+				e.Value = nil
+			}
+			if err := w.Add(e); err != nil {
+				return false
+			}
+		}
+		if _, err := w.Finish(); err != nil {
+			return false
+		}
+		r, err := Open(fs, id)
+		if err != nil {
+			return false
+		}
+		defer r.Close()
+		for i := 0; i < count; i++ {
+			e, found, _, err := r.Get([]byte(fmt.Sprintf("%06d", i)))
+			if err != nil || !found || len(e.Value) != int(valSize) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkTableGet(b *testing.B) {
+	fs := vfs.NewMemFS()
+	r := buildTable(b, fs, 1, 10000)
+	defer r.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := []byte(fmt.Sprintf("key-%05d", i%10000))
+		r.Get(key)
+	}
+}
+
+func BenchmarkCLTableGet(b *testing.B) {
+	fs := vfs.NewMemFS()
+	r := buildCL(b, fs, 10, 5, 10000)
+	defer r.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := []byte(fmt.Sprintf("key-%05d", i%10000))
+		r.Get(key)
+	}
+}

@@ -1,0 +1,70 @@
+// Package sstable implements the on-disk sorted-table formats of the
+// engine's disk component Cdisk (paper §2):
+//
+//   - the classic SSTable: sorted data blocks, a sparse index, a Bloom
+//     filter, a HyperLogLog sketch, properties and a footer, produced by
+//     flushes and compactions; and
+//   - the CL-SSTable of TRIAD-LOG (paper §4.3): a small sorted index of
+//     (key → commit-log offset) paired with the sealed commit-log file that
+//     holds the values, so a flush writes only the index.
+//
+// Both satisfy the Table interface, which is what the read path, the
+// compaction merge and the manifest operate on — the rest of the engine is
+// format-agnostic.
+package sstable
+
+import (
+	"fmt"
+
+	"repro/internal/base"
+	"repro/internal/hll"
+)
+
+// Table is a read-only sorted table of versioned entries.
+type Table interface {
+	// ID is the table's file number.
+	ID() uint64
+	// Get returns the entry for key if present. diskReads reports how
+	// many distinct disk reads the lookup performed (0 when the Bloom
+	// filter excluded the key), which feeds read amplification.
+	Get(key []byte) (e base.Entry, found bool, diskReads int, err error)
+	// NewIterator iterates all entries in ascending key order.
+	NewIterator() (Iterator, error)
+	// Smallest and Largest bound the key range (inclusive).
+	Smallest() []byte
+	Largest() []byte
+	// NumEntries is the number of records in the table.
+	NumEntries() uint64
+	// FileSize is the on-disk size in bytes of the table file itself
+	// (for a CL-SSTable: the index file, not the shared log).
+	FileSize() int64
+	// Sketch returns the table's HyperLogLog key sketch (TRIAD-DISK).
+	Sketch() *hll.Sketch
+	// Close releases file handles.
+	Close() error
+}
+
+// Iterator walks a table in ascending key order.
+//
+// Usage: for it.Next() { e := it.Entry() ... }; check Err, then Close.
+type Iterator interface {
+	// Next advances and reports whether an entry is available.
+	Next() bool
+	// SeekGE positions at the first entry with key >= key.
+	SeekGE(key []byte) bool
+	// Entry returns the current entry. The returned slices are stable
+	// (not reused across Next calls).
+	Entry() base.Entry
+	// Err returns the first error encountered.
+	Err() error
+	// Close releases iterator resources.
+	Close() error
+}
+
+// FileName returns the canonical name of classic SSTable id.
+func FileName(id uint64) string { return fmt.Sprintf("%06d.sst", id) }
+
+// CLIndexFileName returns the canonical name of a CL-SSTable index file.
+func CLIndexFileName(id uint64) string { return fmt.Sprintf("%06d.clidx", id) }
+
+const footerMagic uint64 = 0x7472696164317632 // "triad1v2"

@@ -1,0 +1,166 @@
+package sstable
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/base"
+	"repro/internal/bloom"
+	"repro/internal/hll"
+	"repro/internal/vfs"
+)
+
+// DefaultBlockSize is the target size of a data block.
+const DefaultBlockSize = 4 << 10
+
+// DefaultBloomBitsPerKey matches RocksDB's common 10 bits/key (~1% FP).
+const DefaultBloomBitsPerKey = 10
+
+// Writer builds a classic SSTable. Entries must be added in strictly
+// ascending key order (one version per key; flush and compaction both
+// guarantee this).
+type Writer struct {
+	f         vfs.File
+	id        uint64
+	blockSize int
+
+	buf     []byte // current data block
+	index   []indexEntry
+	lastKey []byte
+	offset  uint64
+
+	filter bloom.Builder
+	sketch *hll.Sketch
+	props  props
+
+	written int64
+	closed  bool
+}
+
+// NewWriter creates SSTable file id in fs.
+func NewWriter(fs vfs.FS, id uint64, blockSize int) (*Writer, error) {
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	f, err := fs.Create(FileName(id))
+	if err != nil {
+		return nil, err
+	}
+	return &Writer{f: f, id: id, blockSize: blockSize, sketch: hll.MustNew(hll.DefaultPrecision)}, nil
+}
+
+// Add appends one entry. Keys must be strictly ascending.
+func (w *Writer) Add(e base.Entry) error {
+	if w.closed {
+		return errors.New("sstable: writer closed")
+	}
+	if w.lastKey != nil && bytes.Compare(e.Key, w.lastKey) <= 0 {
+		return fmt.Errorf("sstable: keys out of order: %q after %q", e.Key, w.lastKey)
+	}
+	if w.props.numEntries == 0 {
+		w.props.smallest = append([]byte(nil), e.Key...)
+	}
+	w.lastKey = append(w.lastKey[:0], e.Key...)
+	w.props.numEntries++
+	w.filter.Add(e.Key)
+	w.sketch.Add(e.Key)
+	w.buf = appendEntry(w.buf, e)
+	if len(w.buf) >= w.blockSize {
+		return w.flushBlock()
+	}
+	return nil
+}
+
+// writeBlock writes data plus its CRC trailer and returns its handle.
+func (w *Writer) writeBlock(data []byte) (blockHandle, error) {
+	h := blockHandle{offset: w.offset, length: uint64(len(data)) + blockTrailerLen}
+	var trailer [blockTrailerLen]byte
+	binary.LittleEndian.PutUint32(trailer[:], crc32.ChecksumIEEE(data))
+	if _, err := w.f.Write(data); err != nil {
+		return blockHandle{}, err
+	}
+	if _, err := w.f.Write(trailer[:]); err != nil {
+		return blockHandle{}, err
+	}
+	w.offset += h.length
+	w.written += int64(h.length)
+	return h, nil
+}
+
+func (w *Writer) flushBlock() error {
+	if len(w.buf) == 0 {
+		return nil
+	}
+	h, err := w.writeBlock(w.buf)
+	if err != nil {
+		return err
+	}
+	w.index = append(w.index, indexEntry{lastKey: append([]byte(nil), w.lastKey...), handle: h})
+	w.buf = w.buf[:0]
+	return nil
+}
+
+// NumEntries reports the entries added so far.
+func (w *Writer) NumEntries() uint64 { return w.props.numEntries }
+
+// ID returns the table's file number.
+func (w *Writer) ID() uint64 { return w.id }
+
+// LastKey returns the most recently added key (aliasing an internal
+// buffer; callers must copy to retain).
+func (w *Writer) LastKey() []byte { return w.lastKey }
+
+// EstimatedSize reports bytes written plus the buffered block.
+func (w *Writer) EstimatedSize() int64 { return w.written + int64(len(w.buf)) }
+
+// Finish flushes metadata and closes the file, returning the total bytes
+// written (the flush/compaction byte accounting).
+func (w *Writer) Finish() (int64, error) {
+	if w.closed {
+		return 0, errors.New("sstable: writer closed")
+	}
+	w.closed = true
+	if err := w.flushBlock(); err != nil {
+		return 0, err
+	}
+	w.props.largest = append([]byte(nil), w.lastKey...)
+
+	var ftr footer
+	writeMeta := w.writeBlock
+	var err error
+	if ftr.index, err = writeMeta(encodeIndex(w.index)); err != nil {
+		return 0, err
+	}
+	if ftr.filter, err = writeMeta(w.filter.Build(DefaultBloomBitsPerKey).Marshal()); err != nil {
+		return 0, err
+	}
+	if ftr.sketch, err = writeMeta(w.sketch.Marshal()); err != nil {
+		return 0, err
+	}
+	if ftr.properties, err = writeMeta(w.props.encode()); err != nil {
+		return 0, err
+	}
+	if _, err := w.f.Write(ftr.encode()); err != nil {
+		return 0, err
+	}
+	w.written += footerSize
+	if err := w.f.Sync(); err != nil {
+		return 0, err
+	}
+	if err := w.f.Close(); err != nil {
+		return 0, err
+	}
+	return w.written, nil
+}
+
+// Abort closes and removes a partially written table.
+func (w *Writer) Abort(fs vfs.FS) {
+	if !w.closed {
+		w.closed = true
+		w.f.Close()
+	}
+	_ = fs.Remove(FileName(w.id))
+}

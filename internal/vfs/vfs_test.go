@@ -1,0 +1,223 @@
+package vfs
+
+import (
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestMemFSCreateWriteRead(t *testing.T) {
+	fs := NewMemFS()
+	f, err := fs.Create("a.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello ")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	size, err := f.Size()
+	if err != nil || size != 11 {
+		t.Fatalf("Size = %d, %v; want 11", size, err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := fs.Open("a.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if _, err := r.ReadAt(buf, 6); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if string(buf) != "world" {
+		t.Fatalf("ReadAt = %q, want world", buf)
+	}
+	if _, err := r.ReadAt(buf, 100); err != io.EOF {
+		t.Fatalf("ReadAt past end = %v, want EOF", err)
+	}
+}
+
+func TestMemFSOpenMissing(t *testing.T) {
+	fs := NewMemFS()
+	if _, err := fs.Open("missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Open missing = %v, want ErrNotFound", err)
+	}
+	if err := fs.Remove("missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Remove missing = %v, want ErrNotFound", err)
+	}
+	if err := fs.Rename("missing", "x"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Rename missing = %v, want ErrNotFound", err)
+	}
+}
+
+func TestMemFSRemoveRenameListExists(t *testing.T) {
+	fs := NewMemFS()
+	for _, name := range []string{"001.log", "002.log", "001.sst"} {
+		f, _ := fs.Create(name)
+		f.Close()
+	}
+	names, err := fs.List("")
+	if err != nil || len(names) != 3 {
+		t.Fatalf("List all = %v, %v", names, err)
+	}
+	logs, _ := fs.List("00")
+	if len(logs) != 3 {
+		t.Fatalf("List prefix 00 = %v", logs)
+	}
+	if !fs.Exists("001.log") {
+		t.Fatal("Exists(001.log) = false")
+	}
+	if err := fs.Rename("001.log", "003.log"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("001.log") || !fs.Exists("003.log") {
+		t.Fatal("rename did not move the file")
+	}
+	if err := fs.Remove("003.log"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("003.log") {
+		t.Fatal("remove left the file behind")
+	}
+}
+
+func TestMemFSStats(t *testing.T) {
+	fs := NewMemFS()
+	f, _ := fs.Create("s")
+	f.Write(make([]byte, 100))
+	f.Write(make([]byte, 50))
+	f.Sync()
+	r, _ := fs.Open("s")
+	buf := make([]byte, 30)
+	r.ReadAt(buf, 0)
+	if got := fs.Stats.BytesWritten.Load(); got != 150 {
+		t.Errorf("BytesWritten = %d, want 150", got)
+	}
+	if got := fs.Stats.BytesRead.Load(); got != 30 {
+		t.Errorf("BytesRead = %d, want 30", got)
+	}
+	if got := fs.Stats.Syncs.Load(); got != 1 {
+		t.Errorf("Syncs = %d, want 1", got)
+	}
+	if got := fs.Stats.FilesCreated.Load(); got != 1 {
+		t.Errorf("FilesCreated = %d, want 1", got)
+	}
+}
+
+func TestMemFSFaultInjection(t *testing.T) {
+	fs := NewMemFS()
+	fs.FailEveryNthWrite(3)
+	f, _ := fs.Create("x")
+	var fails int
+	for i := 0; i < 9; i++ {
+		if _, err := f.Write([]byte("a")); errors.Is(err, ErrInjected) {
+			fails++
+		}
+	}
+	if fails != 3 {
+		t.Fatalf("injected failures = %d, want 3", fails)
+	}
+	fs.FailEveryNthWrite(0)
+	if _, err := f.Write([]byte("a")); err != nil {
+		t.Fatalf("write after disabling injection failed: %v", err)
+	}
+}
+
+func TestClosedFile(t *testing.T) {
+	fs := NewMemFS()
+	f, _ := fs.Create("x")
+	f.Close()
+	if _, err := f.Write([]byte("a")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Write after close = %v, want ErrClosed", err)
+	}
+	if _, err := f.ReadAt(make([]byte, 1), 0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("ReadAt after close = %v, want ErrClosed", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Sync after close = %v, want ErrClosed", err)
+	}
+}
+
+func TestOSFS(t *testing.T) {
+	fs, err := NewOSFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.Create("a.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("data"))
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if !fs.Exists("a.txt") {
+		t.Fatal("Exists = false after create")
+	}
+	r, err := fs.Open("a.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	size, err := r.Size()
+	if err != nil || size != 4 {
+		t.Fatalf("Size = %d, %v", size, err)
+	}
+	buf := make([]byte, 4)
+	if _, err := r.ReadAt(buf, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if string(buf) != "data" {
+		t.Fatalf("read %q", buf)
+	}
+	r.Close()
+	names, err := fs.List("a")
+	if err != nil || len(names) != 1 {
+		t.Fatalf("List = %v, %v", names, err)
+	}
+	if err := fs.Rename("a.txt", "b.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("b.txt"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemFSConcurrent(t *testing.T) {
+	fs := NewMemFS()
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			name := string(rune('a' + g))
+			f, err := fs.Create(name)
+			if err != nil {
+				done <- err
+				return
+			}
+			for i := 0; i < 1000; i++ {
+				if _, err := f.Write([]byte{byte(i)}); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- f.Close()
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	names, _ := fs.List("")
+	if len(names) != 8 {
+		t.Fatalf("expected 8 files, got %d", len(names))
+	}
+}

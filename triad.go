@@ -1,0 +1,160 @@
+// Package triad is a log-structured merge-tree (LSM) key-value store
+// implementing TRIAD (Balmau et al., USENIX ATC 2017): three synergistic
+// techniques that cut the background I/O of flushing and compaction —
+//
+//   - TRIAD-MEM keeps frequently-updated (hot) keys in memory across
+//     flushes so they stop generating duplicate versions on disk;
+//   - TRIAD-DISK defers L0→L1 compaction until the HyperLogLog-estimated
+//     key overlap among L0 files makes the merge worthwhile;
+//   - TRIAD-LOG adopts the commit log as an L0 table (CL-SSTable) so a
+//     flush writes only a small sorted offset index instead of re-writing
+//     every key and value.
+//
+// The same engine with all techniques disabled behaves like the paper's
+// RocksDB baseline, which is what the benchmark harness compares against.
+//
+// Basic usage:
+//
+//	db, err := triad.Open(triad.Options{FS: vfs.NewMemFS(), Profile: triad.ProfileTriad})
+//	...
+//	err = db.Put([]byte("k"), []byte("v"))
+//	v, err := db.Get([]byte("k"))
+//	err = db.Close()
+package triad
+
+import (
+	"repro/internal/lsm"
+	"repro/internal/memtable"
+	"repro/internal/metrics"
+	"repro/internal/vfs"
+)
+
+// Profile selects a pre-tuned engine configuration.
+type Profile int
+
+const (
+	// ProfileTriad enables all three TRIAD techniques with the paper's
+	// parameters (overlap threshold 0.4, max 6 L0 files, top-1% hot set).
+	ProfileTriad Profile = iota
+	// ProfileBaseline is the RocksDB-like leveled-compaction baseline.
+	ProfileBaseline
+)
+
+// Options configures Open. Zero-valued fields take the profile defaults;
+// Advanced overrides everything when non-nil.
+type Options struct {
+	// FS is where the store lives. Use vfs.NewMemFS() for an ephemeral
+	// store or vfs.NewOSFS(dir) for a durable one. Required.
+	FS vfs.FS
+	// Profile picks the baseline or TRIAD configuration.
+	Profile Profile
+	// MemtableBytes overrides the memory-component budget when > 0.
+	MemtableBytes int64
+	// CommitLogBytes overrides the commit-log budget when > 0.
+	CommitLogBytes int64
+	// SyncWAL syncs the commit log on every write.
+	SyncWAL bool
+	// Advanced, when non-nil, is used verbatim (FS must still be set).
+	Advanced *lsm.Options
+}
+
+// DB is a TRIAD key-value store. All methods are safe for concurrent use.
+type DB struct {
+	inner *lsm.DB
+}
+
+// ErrNotFound is returned by Get for absent or deleted keys.
+var ErrNotFound = lsm.ErrNotFound
+
+// Open opens or creates a store. An existing store recovers its tree from
+// the manifest and replays the commit log.
+func Open(o Options) (*DB, error) {
+	var opts lsm.Options
+	if o.Advanced != nil {
+		opts = *o.Advanced
+		if opts.FS == nil {
+			opts.FS = o.FS
+		}
+	} else {
+		switch o.Profile {
+		case ProfileBaseline:
+			opts = lsm.DefaultOptions(o.FS)
+		default:
+			opts = lsm.TriadOptions(o.FS)
+		}
+		if o.MemtableBytes > 0 {
+			opts.MemtableBytes = o.MemtableBytes
+		}
+		if o.CommitLogBytes > 0 {
+			opts.CommitLogBytes = o.CommitLogBytes
+		}
+		opts.SyncWAL = o.SyncWAL
+	}
+	inner, err := lsm.Open(opts)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{inner: inner}, nil
+}
+
+// Put associates value with key.
+func (db *DB) Put(key, value []byte) error { return db.inner.Put(key, value) }
+
+// Get returns the value stored under key, or ErrNotFound.
+func (db *DB) Get(key []byte) ([]byte, error) { return db.inner.Get(key) }
+
+// Delete removes key.
+func (db *DB) Delete(key []byte) error { return db.inner.Delete(key) }
+
+// NewIterator returns an ascending point-in-time scan of [start, limit);
+// nil bounds are unbounded.
+func (db *DB) NewIterator(start, limit []byte) (*lsm.Iterator, error) {
+	return db.inner.NewIterator(start, limit)
+}
+
+// Flush forces the memtable to disk and waits for it.
+func (db *DB) Flush() error { return db.inner.Flush() }
+
+// Batch is a set of writes applied atomically with Apply.
+type Batch = lsm.Batch
+
+// Apply commits a batch of writes atomically with respect to concurrent
+// readers and writers.
+func (db *DB) Apply(b *Batch) error { return db.inner.Apply(b) }
+
+// Stats returns a human-readable dump of the tree shape and counters.
+func (db *DB) Stats() string { return db.inner.Stats() }
+
+// CacheStats reports block-cache hits and misses (zeros when the cache is
+// disabled, the default).
+func (db *DB) CacheStats() (hits, misses int64) { return db.inner.CacheStats() }
+
+// Metrics snapshots the engine counters (write/read amplification,
+// flush/compaction bytes and times).
+func (db *DB) Metrics() metrics.Snapshot { return db.inner.Metrics() }
+
+// NumLevelFiles reports the table count per LSM level.
+func (db *DB) NumLevelFiles() []int { return db.inner.NumLevelFiles() }
+
+// Close flushes background state and releases all resources.
+func (db *DB) Close() error { return db.inner.Close() }
+
+// Re-exported tuning types for Advanced configuration.
+type (
+	// EngineOptions is the full engine knob set.
+	EngineOptions = lsm.Options
+	// HotPolicy selects TRIAD-MEM's hot-key detector.
+	HotPolicy = memtable.HotPolicy
+)
+
+// Hot-key detector choices (TRIAD-MEM).
+const (
+	HotTopK      = memtable.HotTopK
+	HotAboveMean = memtable.HotAboveMean
+)
+
+// BaselineEngineOptions returns the baseline knob set for Advanced use.
+func BaselineEngineOptions(fs vfs.FS) lsm.Options { return lsm.DefaultOptions(fs) }
+
+// TriadEngineOptions returns the full-TRIAD knob set for Advanced use.
+func TriadEngineOptions(fs vfs.FS) lsm.Options { return lsm.TriadOptions(fs) }

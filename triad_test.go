@@ -1,0 +1,141 @@
+package triad
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/vfs"
+)
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	for _, profile := range []Profile{ProfileTriad, ProfileBaseline} {
+		db, err := Open(Options{FS: vfs.NewMemFS(), Profile: profile})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Put([]byte("k"), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+		v, err := db.Get([]byte("k"))
+		if err != nil || string(v) != "v" {
+			t.Fatalf("Get = %q, %v", v, err)
+		}
+		if err := db.Delete([]byte("k")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db.Get([]byte("k")); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("deleted Get = %v", err)
+		}
+		if err := db.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestPublicAPIOverrides(t *testing.T) {
+	db, err := Open(Options{
+		FS:             vfs.NewMemFS(),
+		Profile:        ProfileTriad,
+		MemtableBytes:  64 << 10,
+		CommitLogBytes: 256 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for i := 0; i < 2000; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("key-%05d", i)), make([]byte, 200)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	m := db.Metrics()
+	if m.Flushes == 0 {
+		t.Fatal("small memtable never flushed")
+	}
+	files := db.NumLevelFiles()
+	total := 0
+	for _, n := range files {
+		total += n
+	}
+	if total == 0 {
+		t.Fatal("no table files after flush")
+	}
+}
+
+func TestPublicAPIAdvanced(t *testing.T) {
+	fs := vfs.NewMemFS()
+	opts := TriadEngineOptions(fs)
+	opts.MemtableBytes = 64 << 10
+	opts.HotPolicy = HotTopK
+	opts.HotFraction = 0.2
+	db, err := Open(Options{Advanced: &opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	// Advanced with nil FS in options falls back to Options.FS.
+	opts2 := BaselineEngineOptions(nil)
+	db2, err := Open(Options{FS: vfs.NewMemFS(), Advanced: &opts2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db2.Close()
+}
+
+func TestPublicAPIIterator(t *testing.T) {
+	db, err := Open(Options{FS: vfs.NewMemFS()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for i := 0; i < 50; i++ {
+		db.Put([]byte(fmt.Sprintf("%02d", i)), []byte("v"))
+	}
+	it, err := db.NewIterator([]byte("10"), []byte("20"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for it.Next() {
+		n++
+	}
+	if n != 10 {
+		t.Fatalf("scan = %d entries, want 10", n)
+	}
+}
+
+func TestPublicAPIPersistence(t *testing.T) {
+	fs := vfs.NewMemFS()
+	db, err := Open(Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		db.Put([]byte(fmt.Sprintf("key-%04d", i)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	db.Close()
+	db2, err := Open(Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	for i := 0; i < 500; i++ {
+		v, err := db2.Get([]byte(fmt.Sprintf("key-%04d", i)))
+		if err != nil || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("recovered Get(%d) = %q, %v", i, v, err)
+		}
+	}
+}
+
+func TestOpenWithoutFSFails(t *testing.T) {
+	if _, err := Open(Options{}); err == nil {
+		t.Fatal("Open without FS succeeded")
+	}
+}
