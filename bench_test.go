@@ -365,6 +365,55 @@ func BenchmarkFig10Device(b *testing.B) {
 	}
 }
 
+// --- Sharded-engine scaling ---
+
+// BenchmarkShardScaling measures concurrent mixed read/write throughput
+// (8 parallel workers, 10% reads / 90% writes, uniform keys) against the
+// sharded engine at 1, 2, 4 and 8 shards. Each shard is a full engine on
+// its own simulated device, so the single-shard row pays for every WAL
+// append and flush on one device behind one memtable mutex, while the
+// multi-shard rows overlap those waits — the kops metric should rise
+// with the shard count, demonstrating scaling over the 1-shard
+// configuration.
+func BenchmarkShardScaling(b *testing.B) {
+	s := benchScale()
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := harness.Run(harness.Spec{
+					Name:                "shard-bench",
+					Engine:              benchShardEngine(s),
+					Shards:              shards,
+					DevicePerShard:      true,
+					Mix:                 workload.Mix{Dist: workload.Uniform{N: s.Keys}, ReadFraction: 0.1},
+					Threads:             8,
+					Ops:                 s.Ops,
+					PrepopulateFraction: 0.5,
+					Latency:             harness.SSDModel(),
+					Seed:                1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.KOPS, "kops")
+				b.ReportMetric(res.WA, "wa")
+				b.ReportMetric(float64(res.P99.Nanoseconds())/1000, "p99_us")
+			}
+		})
+	}
+}
+
+func benchShardEngine(s harness.Scale) lsm.Options {
+	o := lsm.TriadOptions(nil)
+	o.MemtableBytes = s.MemtableBytes
+	o.CommitLogBytes = 4 * s.MemtableBytes
+	o.FlushThresholdBytes = s.MemtableBytes / 2
+	o.BaseLevelBytes = 8 * s.MemtableBytes
+	o.TargetFileBytes = s.MemtableBytes
+	o.HotPolicy = HotAboveMean
+	return o
+}
+
 // --- Micro-benchmarks for the public API ---
 
 // BenchmarkPut measures the raw write path (WAL append + memtable).

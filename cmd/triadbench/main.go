@@ -7,7 +7,11 @@
 //	triadbench -experiment all -scale full  # everything, paper-like scale
 //
 // Experiments: fig2, fig7, fig8, fig9a, fig9b (includes 9c), fig9d,
-// fig10, fig11, all.
+// fig10, fig11, shardscale, all.
+//
+// -shards N (N > 1) runs every figure against the sharded engine (N lsm
+// instances at the same aggregate memory); the shardscale experiment
+// instead sweeps shard counts 1..N and tabulates the scaling itself.
 package main
 
 import (
@@ -22,11 +26,12 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("experiment", "all", "which figure to regenerate: fig2|fig7|fig8|fig9a|fig9b|fig9c|fig9d|fig10|fig11|fig10dev|sizetiered|all")
+		exp     = flag.String("experiment", "all", "which figure to regenerate: fig2|fig7|fig8|fig9a|fig9b|fig9c|fig9d|fig10|fig11|fig10dev|sizetiered|shardscale|all")
 		scale   = flag.String("scale", "quick", "quick (seconds per figure) or full (paper-like sizes)")
 		keys    = flag.Uint64("keys", 0, "override synthetic key-space size")
 		ops     = flag.Int64("ops", 0, "override timed operation count per run")
 		threads = flag.Int("threads", 0, "override worker count for fixed-thread figures")
+		shards  = flag.Int("shards", 1, "run figures on a sharded engine of N lsm instances; also the shardscale sweep's maximum")
 	)
 	flag.Parse()
 
@@ -49,6 +54,9 @@ func main() {
 	}
 	if *threads > 0 {
 		s.Threads = *threads
+	}
+	if *shards > 1 {
+		s.Shards = *shards
 	}
 
 	run := func(name string, fn func() error) {
@@ -102,6 +110,14 @@ func main() {
 	if want("sizetiered") {
 		any = true
 		run("sizetiered", func() error { _, err := harness.SizeTiered(s, os.Stdout); return err })
+	}
+	if want("shardscale") {
+		any = true
+		// The sweep compares shard counts itself, so it runs each count
+		// explicitly rather than inheriting the global override.
+		sweep := s
+		sweep.Shards = 0
+		run("shardscale", func() error { _, err := harness.ShardScale(sweep, *shards, os.Stdout); return err })
 	}
 	if !any {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)

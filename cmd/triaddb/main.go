@@ -27,21 +27,29 @@ func main() {
 	var (
 		dir      = flag.String("dir", "triaddb-data", "database directory")
 		baseline = flag.Bool("baseline", false, "use the RocksDB-like baseline profile instead of TRIAD")
+		shards   = flag.Int("shards", 1, "hash-partition the keyspace across N engine instances under DIR/shard-NNN (must match across opens of the same store)")
 	)
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: triaddb [-dir DIR] [-baseline] put|get|del|scan|stats|bench ...")
+		fmt.Fprintln(os.Stderr, "usage: triaddb [-dir DIR] [-baseline] [-shards N] put|get|del|scan|stats|bench ...")
 		os.Exit(2)
 	}
 
-	fs, err := vfs.NewOSFS(*dir)
-	fatalIf(err)
 	profile := triad.ProfileTriad
 	if *baseline {
 		profile = triad.ProfileBaseline
 	}
-	db, err := triad.Open(triad.Options{FS: fs, Profile: profile})
+	opts := triad.Options{Profile: profile}
+	if *shards > 1 {
+		opts.Shards = *shards
+		opts.ShardFS = triad.ShardDirs(*dir)
+	} else {
+		fs, err := vfs.NewOSFS(*dir)
+		fatalIf(err)
+		opts.FS = fs
+	}
+	db, err := triad.Open(opts)
 	fatalIf(err)
 	defer func() { fatalIf(db.Close()) }()
 

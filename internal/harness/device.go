@@ -6,6 +6,7 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"repro/internal/shard"
 	"repro/internal/vfs"
 	"repro/internal/workload"
 )
@@ -53,7 +54,8 @@ func Fig10Device(s Scale, w io.Writer) ([]Cell, error) {
 		engine.BlockCacheBytes = 8 << 20
 		spec := Spec{
 			Name:                "dev " + m.label,
-			Engine:              engine,
+			Engine:              shard.DivideBudgets(engine, s.Shards),
+			Shards:              s.Shards,
 			Mix:                 workload.Mix{Dist: s.ws3(), ReadFraction: 0.1},
 			Threads:             s.Threads,
 			Ops:                 ops,
@@ -95,7 +97,8 @@ func SizeTiered(s Scale, w io.Writer) ([]Cell, error) {
 		o.TriadDisk = v.triadDisk
 		spec := Spec{
 			Name:                v.label,
-			Engine:              o,
+			Engine:              shard.DivideBudgets(o, s.Shards),
+			Shards:              s.Shards,
 			Mix:                 workload.Mix{Dist: s.ws2(), ReadFraction: 0.1},
 			Threads:             s.Threads,
 			Ops:                 s.Ops,

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/lsm"
 	"repro/internal/memtable"
+	"repro/internal/shard"
 	"repro/internal/workload"
 )
 
@@ -27,6 +28,10 @@ type Scale struct {
 	MemtableBytes int64
 	// Threads is the worker count for fixed-thread figures (paper: 8).
 	Threads int
+	// Shards, when > 1, runs every experiment against a sharded engine
+	// of that many lsm instances at the same aggregate memory budget
+	// (see Spec.Shards). 0 or 1 keeps the single-instance engine.
+	Shards int
 }
 
 // QuickScale regenerates every figure in roughly a minute total.
@@ -102,8 +107,12 @@ type Cell struct {
 // runCell builds and runs one spec.
 func (s Scale) runCell(label, mode string, dist workload.KeyDist, readFrac float64, threads int, ops int64, prepop float64, disableBG bool) (Cell, error) {
 	spec := Spec{
-		Name:                label,
-		Engine:              s.engine(mode),
+		Name: label,
+		// Budgets are divided across shards so a sharded figure run
+		// stays comparable to the unsharded one at equal aggregate
+		// memory (DivideBudgets is the identity for Shards <= 1).
+		Engine:              shard.DivideBudgets(s.engine(mode), s.Shards),
+		Shards:              s.Shards,
 		Mix:                 workload.Mix{Dist: dist, ReadFraction: readFrac},
 		Threads:             threads,
 		Ops:                 ops,

@@ -19,8 +19,28 @@ import (
 
 	"repro/internal/lsm"
 	"repro/internal/metrics"
+	"repro/internal/shard"
 	"repro/internal/vfs"
 	"repro/internal/workload"
+)
+
+// Engine is the key-value surface Run drives. Both *lsm.DB and
+// *shard.DB implement it, so every experiment can execute against a
+// single instance or a sharded store unchanged.
+type Engine interface {
+	Put(key, value []byte) error
+	Get(key []byte) ([]byte, error)
+	Delete(key []byte) error
+	Flush() error
+	CompactAll() error
+	SetDisableBackgroundIO(bool)
+	Metrics() metrics.Snapshot
+	Close() error
+}
+
+var (
+	_ Engine = (*lsm.DB)(nil)
+	_ Engine = (*shard.DB)(nil)
 )
 
 // Spec describes one experiment run.
@@ -29,6 +49,16 @@ type Spec struct {
 	Name string
 	// Engine is the engine configuration; FS is overwritten by Run.
 	Engine lsm.Options
+	// Shards, when > 1, runs the spec against a sharded engine of that
+	// many lsm instances. Engine's budgets apply to each shard (the
+	// column-family deployment convention: every shard is a full engine);
+	// pass shard.DivideBudgets(engine, n) as Engine to compare shard
+	// counts at equal aggregate memory instead.
+	Shards int
+	// DevicePerShard gives each shard its own simulated device when
+	// Latency.Device is set (the scale-out deployment: one disk per
+	// shard). Default false: all shards contend on the one device.
+	DevicePerShard bool
 	// Mix is the operation mix (distribution, read fraction, sizes).
 	Mix workload.Mix
 	// Threads is the number of concurrent workers.
@@ -82,14 +112,36 @@ type Result struct {
 	Snap metrics.Snapshot
 }
 
-// Run executes one spec on a fresh MemFS.
+// Run executes one spec on fresh MemFS instances (one per shard). All
+// shards share the spec's latency model; when it names a Device, the
+// shards contend on that one simulated device by default, and each gets
+// its own device when DevicePerShard is set (the one-disk-per-shard
+// scale-out deployment).
 func Run(spec Spec) (Result, error) {
-	fs := vfs.NewMemFS()
-	fs.Latency = spec.Latency
 	opts := spec.Engine
-	opts.FS = fs
 	opts.Seed = spec.Seed
-	db, err := lsm.Open(opts)
+	var db Engine
+	var err error
+	if spec.Shards > 1 {
+		db, err = shard.Open(shard.Options{
+			Shards: spec.Shards,
+			Engine: opts,
+			NewFS: func(int) (vfs.FS, error) {
+				fs := vfs.NewMemFS()
+				lat := spec.Latency
+				if spec.DevicePerShard && lat.Device != nil {
+					lat.Device = &vfs.Device{}
+				}
+				fs.Latency = lat
+				return fs, nil
+			},
+		})
+	} else {
+		fs := vfs.NewMemFS()
+		fs.Latency = spec.Latency
+		opts.FS = fs
+		db, err = lsm.Open(opts)
+	}
 	if err != nil {
 		return Result{}, err
 	}
@@ -192,8 +244,8 @@ func Run(spec Spec) (Result, error) {
 }
 
 // prepopulate inserts PrepopulateFraction of the key space with the mix's
-// value size, in parallel shards for speed, then returns.
-func prepopulate(db *lsm.DB, spec Spec) error {
+// value size, then returns.
+func prepopulate(db Engine, spec Spec) error {
 	if spec.PrepopulateFraction <= 0 {
 		return nil
 	}

@@ -1,0 +1,67 @@
+package harness
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestRunSharded: the harness drives a sharded engine through the same
+// pipeline (prepopulate, settle, timed phase) and the roll-up metrics
+// account for every operation.
+func TestRunSharded(t *testing.T) {
+	s := tinyScale()
+	res, err := Run(Spec{
+		Name:                "sharded",
+		Engine:              s.engine("triad"),
+		Shards:              4,
+		Mix:                 workload.Mix{Dist: s.ws3(), ReadFraction: 0.1},
+		Threads:             s.Threads,
+		Ops:                 s.Ops,
+		PrepopulateFraction: 0.5,
+		Seed:                1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 || res.KOPS <= 0 {
+		t.Fatalf("sharded run reported no work: %+v", res)
+	}
+	if res.Snap.UserWrites == 0 || res.Snap.UserReads == 0 {
+		t.Fatalf("metrics roll-up empty: %+v", res.Snap)
+	}
+}
+
+// TestShardScaleExperiment smoke-tests the scaling table: one cell per
+// shard count, throughput present in each.
+func TestShardScaleExperiment(t *testing.T) {
+	var out strings.Builder
+	cells, err := ShardScale(tinyScale(), 4, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 3 { // 1, 2, 4
+		t.Fatalf("got %d cells, want 3", len(cells))
+	}
+	for _, c := range cells {
+		if c.Res.KOPS <= 0 {
+			t.Fatalf("cell %s has no throughput", c.Label)
+		}
+	}
+	if !strings.Contains(out.String(), "Shard scaling") {
+		t.Fatalf("table header missing:\n%s", out.String())
+	}
+}
+
+// TestShardScaleDefaults: maxShards below 2 falls back to 8.
+func TestShardScaleDefaults(t *testing.T) {
+	cells, err := ShardScale(tinyScale(), 0, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 4 { // 1, 2, 4, 8
+		t.Fatalf("got %d cells, want 4", len(cells))
+	}
+}

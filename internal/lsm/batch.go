@@ -38,6 +38,16 @@ func (b *Batch) Delete(key []byte) {
 	b.byteSize += e.Size()
 }
 
+// PutEntry queues an already-copied entry without re-copying its key and
+// value. It exists for engines that split a batch into per-shard
+// sub-batches: the source batch's Put/Delete made the defensive copies,
+// so the split must not pay for them twice. The caller must not mutate
+// e's slices afterwards.
+func (b *Batch) PutEntry(e base.Entry) {
+	b.ops = append(b.ops, e)
+	b.byteSize += e.Size()
+}
+
 // Len reports the number of queued operations.
 func (b *Batch) Len() int { return len(b.ops) }
 
@@ -50,6 +60,19 @@ func (b *Batch) Reset() {
 	b.byteSize = 0
 	b.committed = false
 }
+
+// Ops exposes the queued entries, in application order. It exists for
+// engines that split a batch across several DB instances (the sharded
+// engine); callers must not mutate the returned entries.
+func (b *Batch) Ops() []base.Entry { return b.ops }
+
+// Committed reports whether the batch has been applied (and not Reset).
+func (b *Batch) Committed() bool { return b.committed }
+
+// MarkCommitted records that an outer engine applied the batch on the
+// caller's behalf (the sharded engine applies per-shard sub-batches and
+// then marks the original).
+func (b *Batch) MarkCommitted() { b.committed = true }
 
 // Apply commits the batch. The batch may be Reset and reused afterwards.
 func (db *DB) Apply(b *Batch) error {

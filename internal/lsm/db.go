@@ -189,7 +189,7 @@ func (db *DB) recover() error {
 		return err
 	}
 	if db.mem.Len() > 0 {
-		if err := db.populateLog(db.log, db.mem.All()); err != nil {
+		if err := db.populateLog(db.log, db.mem); err != nil {
 			return err
 		}
 	}
@@ -219,17 +219,18 @@ func (db *DB) allocFileID() uint64 {
 	return id
 }
 
-// populateLog appends every entry to w and updates the entries' commit-log
-// positions (Algorithm 1, populateLog + CLUpdateOffset).
-func (db *DB) populateLog(w *wal.Writer, entries []*memtable.Entry) error {
-	for _, e := range entries {
+// populateLog appends every entry of mem to w and updates the entries'
+// commit-log positions (Algorithm 1, populateLog + CLUpdateOffset). The
+// position writes go through the memtable lock: compactions may hold a
+// reference to mem and copy its entries concurrently.
+func (db *DB) populateLog(w *wal.Writer, mem *memtable.Memtable) error {
+	for _, e := range mem.All() {
 		off, n, err := w.Append(e.Base())
 		if err != nil {
 			return err
 		}
 		db.met.BytesLogged.Add(int64(n))
-		e.LogID = w.ID()
-		e.LogOffset = off
+		mem.SetLogPos(e, w.ID(), off)
 	}
 	return nil
 }
@@ -315,7 +316,7 @@ func (db *DB) maybeRotateLocked() error {
 			return err
 		}
 		oldLog := db.log
-		if err := db.populateLog(newLog, db.mem.All()); err != nil {
+		if err := db.populateLog(newLog, db.mem); err != nil {
 			newLog.Close()
 			return err
 		}

@@ -78,6 +78,16 @@ func (m *Memtable) Set(key, value []byte, seq uint64, kind base.Kind, logID uint
 	m.size += int64(len(key)+len(value)) + entryOverhead
 }
 
+// SetLogPos updates an entry's commit-log position under the memtable
+// lock. The entry must belong to this memtable; the lock is what keeps
+// the write from racing concurrent Gets that copy the entry.
+func (m *Memtable) SetLogPos(e *Entry, logID uint64, off int64) {
+	m.mu.Lock()
+	e.LogID = logID
+	e.LogOffset = off
+	m.mu.Unlock()
+}
+
 // Get returns a copy of the entry stored under key.
 func (m *Memtable) Get(key []byte) (Entry, bool) {
 	m.mu.RLock()
@@ -157,8 +167,19 @@ type Separation struct {
 // per Algorithm 2. hotFraction bounds the hot set to that fraction of the
 // entry count when policy is HotTopK. Update counters of the hot survivors
 // are reset ("Reset hotness").
+//
+// The whole separation holds the write lock: readers that captured this
+// memtable before it was sealed (the TRIAD-MEM compaction skip check)
+// may still be calling Get, and the counter reset below mutates entries
+// those Gets copy.
 func (m *Memtable) SeparateKeys(policy HotPolicy, hotFraction float64) Separation {
-	all := m.All()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	all := make([]*Entry, 0, m.list.Len())
+	it := m.list.NewIterator()
+	for it.Next() {
+		all = append(all, it.Value().(*Entry))
+	}
 	if len(all) == 0 {
 		return Separation{}
 	}

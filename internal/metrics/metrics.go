@@ -98,6 +98,31 @@ func (s Snapshot) Sub(earlier Snapshot) Snapshot {
 	}
 }
 
+// Add returns s + other, counter-wise — the roll-up used to aggregate
+// per-shard snapshots into one store-wide view.
+func (s Snapshot) Add(other Snapshot) Snapshot {
+	return Snapshot{
+		UserWrites:          s.UserWrites + other.UserWrites,
+		UserReads:           s.UserReads + other.UserReads,
+		UserBytes:           s.UserBytes + other.UserBytes,
+		ReadsFromMem:        s.ReadsFromMem + other.ReadsFromMem,
+		TableDiskReads:      s.TableDiskReads + other.TableDiskReads,
+		BytesLogged:         s.BytesLogged + other.BytesLogged,
+		BytesFlushed:        s.BytesFlushed + other.BytesFlushed,
+		BytesCompacted:      s.BytesCompacted + other.BytesCompacted,
+		Flushes:             s.Flushes + other.Flushes,
+		FlushSkips:          s.FlushSkips + other.FlushSkips,
+		Compactions:         s.Compactions + other.Compactions,
+		CompactionsDeferred: s.CompactionsDeferred + other.CompactionsDeferred,
+		FlushTime:           s.FlushTime + other.FlushTime,
+		CompactionTime:      s.CompactionTime + other.CompactionTime,
+		EntriesCompacted:    s.EntriesCompacted + other.EntriesCompacted,
+		EntriesDiscarded:    s.EntriesDiscarded + other.EntriesDiscarded,
+		HotKeysKeptInMem:    s.HotKeysKeptInMem + other.HotKeysKeptInMem,
+		ColdEntriesFlushed:  s.ColdEntriesFlushed + other.ColdEntriesFlushed,
+	}
+}
+
 // WriteAmplification is the system-wide WA: every byte the store wrote
 // (log + flush + compaction) per user byte. This is the conventional
 // whole-system definition; it subsumes the paper's flush-relative formula

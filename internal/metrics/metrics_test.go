@@ -83,3 +83,28 @@ func TestConcurrentCounters(t *testing.T) {
 		t.Fatalf("counters = %d/%d", s.UserWrites, s.UserBytes)
 	}
 }
+
+// TestSnapshotAdd: Add is the shard roll-up; it must be counter-wise,
+// invert Sub, and leave derived metrics computed on the aggregate.
+func TestSnapshotAdd(t *testing.T) {
+	a := Snapshot{UserWrites: 10, UserBytes: 1000, BytesLogged: 500,
+		BytesFlushed: 300, BytesCompacted: 200, Flushes: 2,
+		FlushTime: time.Second, HotKeysKeptInMem: 7}
+	b := Snapshot{UserWrites: 5, UserBytes: 500, BytesLogged: 250,
+		BytesFlushed: 150, BytesCompacted: 100, Flushes: 1,
+		FlushTime: 2 * time.Second, HotKeysKeptInMem: 3}
+	sum := a.Add(b)
+	if sum.UserWrites != 15 || sum.UserBytes != 1500 || sum.Flushes != 3 {
+		t.Fatalf("Add: %+v", sum)
+	}
+	if sum.FlushTime != 3*time.Second || sum.HotKeysKeptInMem != 10 {
+		t.Fatalf("Add: %+v", sum)
+	}
+	if got := sum.Sub(b); got != a {
+		t.Fatalf("Add then Sub != identity: %+v", got)
+	}
+	// Aggregate WA over the sum equals WA of the combined counters.
+	if got := sum.WriteAmplification(); got != float64(750+450+300)/1500 {
+		t.Fatalf("aggregate WA = %v", got)
+	}
+}

@@ -1,0 +1,240 @@
+// Package shard implements a sharded engine: a keyspace router over N
+// independent lsm.DB instances, each with its own commit log, memtable,
+// levels and background flush/compaction workers.
+//
+// A single lsm.DB serializes every write behind one memtable mutex and
+// one WAL; under many concurrent writers that lock — not the device — is
+// the bottleneck. Hash-partitioning the keyspace multiplies the write
+// paths: N shards give N independent mutexes, WALs and background
+// pipelines, while TRIAD's three techniques (hot/cold flush separation,
+// HLL-gated L0 compaction, CL-SSTables) compose per shard unchanged.
+//
+// shard.DB exposes the same surface as lsm.DB: point operations route to
+// the owning shard, Apply splits a batch into per-shard sub-batches
+// applied concurrently, NewIterator performs a k-way heap merge of the
+// per-shard snapshots into one globally sorted stream, and
+// Flush/CompactAll/Close fan out to every shard and drain them.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/lsm"
+	"repro/internal/vfs"
+)
+
+// Options configures Open.
+type Options struct {
+	// Shards is the number of independent engine instances; values < 1
+	// mean 1. The count must be stable across opens of the same store.
+	Shards int
+	// Engine is the per-shard engine configuration template. Engine.FS
+	// is ignored (NewFS supplies each shard's filesystem) and Engine.Seed
+	// is decorrelated per shard. Budgets in the template (memtable,
+	// commit log, block cache, ...) apply to each shard individually;
+	// use DivideBudgets to split one store-wide budget evenly.
+	Engine lsm.Options
+	// NewFS returns shard i's filesystem; required. Every shard needs a
+	// namespace of its own — MemFS and DirFS are ready-made factories.
+	NewFS func(i int) (vfs.FS, error)
+	// Partitioner routes keys to shards; nil means FNV{}.
+	Partitioner Partitioner
+}
+
+// MemFS returns a NewFS factory handing every shard a fresh in-memory
+// filesystem (ephemeral stores, tests, benchmarks).
+func MemFS() func(int) (vfs.FS, error) {
+	return func(int) (vfs.FS, error) { return vfs.NewMemFS(), nil }
+}
+
+// DirFS returns a NewFS factory rooting shard i at dir/shard-NNN
+// (durable stores).
+func DirFS(dir string) func(int) (vfs.FS, error) {
+	return func(i int) (vfs.FS, error) {
+		return vfs.NewOSFS(filepath.Join(dir, fmt.Sprintf("shard-%03d", i)))
+	}
+}
+
+// DivideBudgets returns o with its sizing knobs divided by n, so that N
+// shards configured from the result consume roughly the same aggregate
+// memory and produce the same aggregate level sizes as one instance of o
+// — the configuration under which a shard-count comparison is fair.
+// Floors keep tiny divisions functional.
+func DivideBudgets(o lsm.Options, n int) lsm.Options {
+	if n <= 1 {
+		return o
+	}
+	div := func(v int64, floor int64) int64 {
+		if v <= 0 {
+			return v // keep "use default" sentinels as-is
+		}
+		if out := v / int64(n); out > floor {
+			return out
+		}
+		return floor
+	}
+	o.MemtableBytes = div(o.MemtableBytes, 32<<10)
+	o.CommitLogBytes = div(o.CommitLogBytes, 128<<10)
+	o.FlushThresholdBytes = div(o.FlushThresholdBytes, 16<<10)
+	o.BaseLevelBytes = div(o.BaseLevelBytes, 256<<10)
+	o.TargetFileBytes = div(o.TargetFileBytes, 64<<10)
+	o.BlockCacheBytes = div(o.BlockCacheBytes, 0)
+	return o
+}
+
+// DB is a sharded key-value store. All methods are safe for concurrent
+// use. Writes to different shards proceed in parallel; writes to the
+// same shard serialize exactly as in lsm.DB.
+type DB struct {
+	shards []*lsm.DB
+	part   Partitioner
+}
+
+// Open opens (creating or recovering) every shard. Recovery is
+// per-shard: each instance replays its own manifest and commit log.
+func Open(o Options) (*DB, error) {
+	if o.Shards < 1 {
+		o.Shards = 1
+	}
+	if o.NewFS == nil {
+		return nil, errors.New("shard: Options.NewFS is required")
+	}
+	part := o.Partitioner
+	if part == nil {
+		part = FNV{}
+	}
+	db := &DB{part: part, shards: make([]*lsm.DB, 0, o.Shards)}
+	for i := 0; i < o.Shards; i++ {
+		fs, err := o.NewFS(i)
+		if err == nil && fs == nil {
+			err = errors.New("nil filesystem")
+		}
+		if err != nil {
+			db.closeAll()
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		eo := o.Engine
+		eo.FS = fs
+		// Decorrelate the per-shard skiplist seeds so shards do not
+		// produce identical tower heights in lockstep.
+		eo.Seed = o.Engine.Seed + int64(i)*7919
+		s, err := lsm.Open(eo)
+		if err != nil {
+			db.closeAll()
+			return nil, fmt.Errorf("shard %d: open: %w", i, err)
+		}
+		db.shards = append(db.shards, s)
+	}
+	return db, nil
+}
+
+// NumShards reports the shard count.
+func (db *DB) NumShards() int { return len(db.shards) }
+
+// Shard exposes shard i (observability and tests).
+func (db *DB) Shard(i int) *lsm.DB { return db.shards[i] }
+
+// Partitioner reports the active partitioner.
+func (db *DB) Partitioner() Partitioner { return db.part }
+
+// pick returns the shard owning key.
+func (db *DB) pick(key []byte) *lsm.DB {
+	return db.shards[db.part.Partition(key, len(db.shards))]
+}
+
+// Put associates value with key on the owning shard.
+func (db *DB) Put(key, value []byte) error { return db.pick(key).Put(key, value) }
+
+// Get returns the value stored under key, or lsm.ErrNotFound.
+func (db *DB) Get(key []byte) ([]byte, error) { return db.pick(key).Get(key) }
+
+// Delete removes key (writing a tombstone on the owning shard).
+func (db *DB) Delete(key []byte) error { return db.pick(key).Delete(key) }
+
+// Batch is re-exported so callers build batches without importing lsm.
+type Batch = lsm.Batch
+
+// Apply splits b into per-shard sub-batches and applies them
+// concurrently. Atomicity is per shard: a sub-batch commits atomically
+// on its shard, but a failure can leave the batch applied on some shards
+// and not others (the batch then stays uncommitted, so retrying after
+// the error is safe — re-applying a Put/Delete set is idempotent).
+func (db *DB) Apply(b *Batch) error {
+	if b.Committed() {
+		return errors.New("shard: batch already applied (Reset to reuse)")
+	}
+	if len(db.shards) == 1 {
+		return db.shards[0].Apply(b)
+	}
+	for _, e := range b.Ops() {
+		if len(e.Key) == 0 {
+			return errors.New("shard: empty key in batch")
+		}
+	}
+	subs := make([]*lsm.Batch, len(db.shards))
+	for _, e := range b.Ops() {
+		i := db.part.Partition(e.Key, len(db.shards))
+		if subs[i] == nil {
+			subs[i] = &lsm.Batch{}
+		}
+		// The outer batch's Put/Delete already made defensive copies;
+		// PutEntry re-queues them without copying again.
+		subs[i].PutEntry(e)
+	}
+	if err := db.fanOut(func(i int, s *lsm.DB) error {
+		if subs[i] == nil {
+			return nil
+		}
+		return s.Apply(subs[i])
+	}); err != nil {
+		return err
+	}
+	b.MarkCommitted()
+	return nil
+}
+
+// Flush seals and drains every shard's memtable, in parallel.
+func (db *DB) Flush() error {
+	return db.fanOut(func(_ int, s *lsm.DB) error { return s.Flush() })
+}
+
+// CompactAll drains all pending compactions on every shard, in parallel.
+func (db *DB) CompactAll() error {
+	return db.fanOut(func(_ int, s *lsm.DB) error { return s.CompactAll() })
+}
+
+// SetDisableBackgroundIO toggles the no-background-I/O experiment mode on
+// every shard.
+func (db *DB) SetDisableBackgroundIO(v bool) {
+	for _, s := range db.shards {
+		s.SetDisableBackgroundIO(v)
+	}
+}
+
+// Close drains background work on every shard and releases all
+// resources. All shards are closed even if one fails; the first error is
+// returned.
+func (db *DB) Close() error { return db.closeAll() }
+
+func (db *DB) closeAll() error {
+	return db.fanOut(func(_ int, s *lsm.DB) error { return s.Close() })
+}
+
+// fanOut runs fn on every shard concurrently and returns the first
+// error. Every fn runs to completion regardless of other shards' errors.
+func (db *DB) fanOut(fn func(i int, s *lsm.DB) error) error {
+	errs := make([]error, len(db.shards))
+	var wg sync.WaitGroup
+	for i, s := range db.shards {
+		wg.Add(1)
+		go func(i int, s *lsm.DB) {
+			defer wg.Done()
+			errs[i] = fn(i, s)
+		}(i, s)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}

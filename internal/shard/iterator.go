@@ -1,0 +1,92 @@
+package shard
+
+import (
+	"bytes"
+	"container/heap"
+
+	"repro/internal/lsm"
+)
+
+// Iterator is an ascending, globally sorted scan across every shard,
+// produced by a k-way heap merge of the per-shard snapshot iterators.
+// Each key lives on exactly one shard, so the merge needs no
+// deduplication; ordering is by key alone.
+//
+// Like lsm.Iterator, the snapshot is materialized at creation. Each
+// shard's snapshot is point-in-time consistent; the snapshots of
+// different shards are taken concurrently but not at one global instant
+// (there is no cross-shard write ordering to preserve — only writes to
+// the same key order, and a key never changes shards).
+type Iterator struct {
+	h   iterHeap
+	cur *lsm.Iterator // source of the current entry; nil before first Next
+	n   int           // total entries across all shards
+}
+
+// NewIterator snapshots the range [start, limit) on every shard in
+// parallel (nil bounds are unbounded) and returns the merged scan.
+func (db *DB) NewIterator(start, limit []byte) (*Iterator, error) {
+	its := make([]*lsm.Iterator, len(db.shards))
+	if err := db.fanOut(func(i int, s *lsm.DB) error {
+		it, err := s.NewIterator(start, limit)
+		if err != nil {
+			return err
+		}
+		its[i] = it
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	out := &Iterator{}
+	for _, it := range its {
+		out.n += it.Len()
+		if it.Next() {
+			out.h = append(out.h, it)
+		}
+	}
+	heap.Init(&out.h)
+	return out, nil
+}
+
+// Next advances; the iterator starts before the first entry.
+func (it *Iterator) Next() bool {
+	if it.cur != nil {
+		// Re-admit the source we last yielded from, now at its next
+		// position (or retire it when exhausted).
+		if it.cur.Next() {
+			heap.Push(&it.h, it.cur)
+		}
+		it.cur = nil
+	}
+	if it.h.Len() == 0 {
+		return false
+	}
+	it.cur = heap.Pop(&it.h).(*lsm.Iterator)
+	return true
+}
+
+// Key returns the current key.
+func (it *Iterator) Key() []byte { return it.cur.Key() }
+
+// Value returns the current value.
+func (it *Iterator) Value() []byte { return it.cur.Value() }
+
+// Len reports the total number of entries in the merged snapshot.
+func (it *Iterator) Len() int { return it.n }
+
+// iterHeap is a min-heap of shard iterators ordered by current key.
+type iterHeap []*lsm.Iterator
+
+func (h iterHeap) Len() int { return len(h) }
+func (h iterHeap) Less(i, j int) bool {
+	return bytes.Compare(h[i].Key(), h[j].Key()) < 0
+}
+func (h iterHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *iterHeap) Push(x any)   { *h = append(*h, x.(*lsm.Iterator)) }
+func (h *iterHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,86 @@
+package shard
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/manifest"
+	"repro/internal/metrics"
+)
+
+// Metrics returns the store-wide counter snapshot: the counter-wise sum
+// of every shard's snapshot. Derived quantities (write and read
+// amplification) computed on the sum are the aggregate amplifications.
+func (db *DB) Metrics() metrics.Snapshot {
+	var out metrics.Snapshot
+	for _, s := range db.shards {
+		out = out.Add(s.Metrics())
+	}
+	return out
+}
+
+// CacheStats reports block-cache hits and misses summed across shards.
+func (db *DB) CacheStats() (hits, misses int64) {
+	for _, s := range db.shards {
+		h, m := s.CacheStats()
+		hits += h
+		misses += m
+	}
+	return hits, misses
+}
+
+// NumLevelFiles reports the per-level table count summed across shards.
+func (db *DB) NumLevelFiles() []int {
+	out := make([]int, manifest.NumLevels)
+	for _, s := range db.shards {
+		for l, n := range s.NumLevelFiles() {
+			out[l] += n
+		}
+	}
+	return out
+}
+
+// LevelSizes reports the per-level byte size summed across shards.
+func (db *DB) LevelSizes() []int64 {
+	out := make([]int64, manifest.NumLevels)
+	for _, s := range db.shards {
+		for l, n := range s.LevelSizes() {
+			out[l] += n
+		}
+	}
+	return out
+}
+
+// Stats renders the aggregate tree shape and counters plus a per-shard
+// balance line, in the spirit of lsm.DB.Stats.
+func (db *DB) Stats() string {
+	var b strings.Builder
+	m := db.Metrics()
+	files := db.NumLevelFiles()
+	sizes := db.LevelSizes()
+
+	fmt.Fprintf(&b, "shards: %d (%s partitioner)\n", len(db.shards), db.part.Name())
+	fmt.Fprintf(&b, "levels (files/bytes, all shards):\n")
+	for l := range files {
+		if files[l] == 0 && sizes[l] == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  L%d: %d files, %d bytes\n", l, files[l], sizes[l])
+	}
+	fmt.Fprintf(&b, "flushes: %d (skipped: %d)  compactions: %d (deferred: %d)\n",
+		m.Flushes, m.FlushSkips, m.Compactions, m.CompactionsDeferred)
+	fmt.Fprintf(&b, "bytes: user %d  logged %d  flushed %d  compacted %d\n",
+		m.UserBytes, m.BytesLogged, m.BytesFlushed, m.BytesCompacted)
+	fmt.Fprintf(&b, "WA: %.2f (flush-relative %.2f)  RA: %.2f\n",
+		m.WriteAmplification(), m.FlushRelativeWA(), m.ReadAmplification())
+	if hits, misses := db.CacheStats(); hits+misses > 0 {
+		fmt.Fprintf(&b, "block cache: %d hits, %d misses (%.1f%% hit rate)\n",
+			hits, misses, 100*float64(hits)/float64(hits+misses))
+	}
+	fmt.Fprintf(&b, "per-shard writes:")
+	for i, s := range db.shards {
+		fmt.Fprintf(&b, " s%d=%d", i, s.Metrics().UserWrites)
+	}
+	fmt.Fprintf(&b, "\n")
+	return b.String()
+}

@@ -54,9 +54,13 @@ func (c *BlockCache) Get(table, offset uint64) []byte {
 	}
 	k := cacheKey{table, offset}
 	c.mu.Lock()
+	var block []byte
 	el, ok := c.items[k]
 	if ok {
 		c.ll.MoveToFront(el)
+		// Capture the slice under the lock: a concurrent Put to the
+		// same key replaces entry.block in place.
+		block = el.Value.(*cacheEntry).block
 	}
 	c.mu.Unlock()
 	if !ok {
@@ -64,7 +68,7 @@ func (c *BlockCache) Get(table, offset uint64) []byte {
 		return nil
 	}
 	c.hits.Add(1)
-	return el.Value.(*cacheEntry).block
+	return block
 }
 
 // Put inserts a block, evicting least-recently-used blocks as needed.

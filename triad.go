@@ -23,9 +23,12 @@
 package triad
 
 import (
+	"errors"
+
 	"repro/internal/lsm"
 	"repro/internal/memtable"
 	"repro/internal/metrics"
+	"repro/internal/shard"
 	"repro/internal/vfs"
 )
 
@@ -54,20 +57,67 @@ type Options struct {
 	CommitLogBytes int64
 	// SyncWAL syncs the commit log on every write.
 	SyncWAL bool
-	// Advanced, when non-nil, is used verbatim (FS must still be set).
+	// Shards, when > 1, hash-partitions the keyspace across that many
+	// independent engine instances — each with its own commit log,
+	// memtable, levels and background workers — multiplying the write
+	// paths for concurrent workloads. ShardFS must then be set (FS is
+	// ignored); the byte budgets above apply to each shard. The shard
+	// count must be stable across opens of the same store.
+	Shards int
+	// ShardFS supplies shard i's filesystem when Shards > 1. Use
+	// ShardMemFS() for an ephemeral store or ShardDirs(dir) to root each
+	// shard in its own subdirectory of dir.
+	ShardFS func(i int) (vfs.FS, error)
+	// Advanced, when non-nil, is used verbatim (FS must still be set;
+	// under Shards > 1 it is the per-shard template instead).
 	Advanced *lsm.Options
+}
+
+// ShardMemFS returns a ShardFS factory of fresh in-memory filesystems.
+func ShardMemFS() func(int) (vfs.FS, error) { return shard.MemFS() }
+
+// ShardDirs returns a ShardFS factory rooting shard i at dir/shard-NNN.
+func ShardDirs(dir string) func(int) (vfs.FS, error) { return shard.DirFS(dir) }
+
+// Iterator is an ascending point-in-time scan; see DB.NewIterator.
+type Iterator interface {
+	// Next advances; the iterator starts before the first entry.
+	Next() bool
+	// Key returns the current key.
+	Key() []byte
+	// Value returns the current value.
+	Value() []byte
+	// Len reports the number of entries in the snapshot.
+	Len() int
+}
+
+// engine is the surface shared by the single-instance and sharded
+// backends (*lsm.DB and *shard.DB).
+type engine interface {
+	Put(key, value []byte) error
+	Get(key []byte) ([]byte, error)
+	Delete(key []byte) error
+	Apply(*lsm.Batch) error
+	Flush() error
+	Stats() string
+	CacheStats() (hits, misses int64)
+	Metrics() metrics.Snapshot
+	NumLevelFiles() []int
+	Close() error
 }
 
 // DB is a TRIAD key-value store. All methods are safe for concurrent use.
 type DB struct {
-	inner *lsm.DB
+	inner   engine
+	newIter func(start, limit []byte) (Iterator, error)
 }
 
 // ErrNotFound is returned by Get for absent or deleted keys.
 var ErrNotFound = lsm.ErrNotFound
 
 // Open opens or creates a store. An existing store recovers its tree from
-// the manifest and replays the commit log.
+// the manifest and replays the commit log (each shard independently when
+// sharded).
 func Open(o Options) (*DB, error) {
 	var opts lsm.Options
 	if o.Advanced != nil {
@@ -90,11 +140,42 @@ func Open(o Options) (*DB, error) {
 		}
 		opts.SyncWAL = o.SyncWAL
 	}
+	if o.Shards > 1 {
+		if o.ShardFS == nil {
+			return nil, errors.New("triad: Shards > 1 requires ShardFS (use ShardMemFS or ShardDirs)")
+		}
+		opts.FS = nil
+		inner, err := shard.Open(shard.Options{
+			Shards: o.Shards,
+			Engine: opts,
+			NewFS:  o.ShardFS,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &DB{
+			inner:   inner,
+			newIter: func(start, limit []byte) (Iterator, error) { return inner.NewIterator(start, limit) },
+		}, nil
+	}
+	// Shards <= 1 with a ShardFS factory (a caller parameterizing the
+	// shard count down to one) still opens a single instance, on the
+	// factory's shard-0 filesystem.
+	if opts.FS == nil && o.ShardFS != nil {
+		fs, err := o.ShardFS(0)
+		if err != nil {
+			return nil, err
+		}
+		opts.FS = fs
+	}
 	inner, err := lsm.Open(opts)
 	if err != nil {
 		return nil, err
 	}
-	return &DB{inner: inner}, nil
+	return &DB{
+		inner:   inner,
+		newIter: func(start, limit []byte) (Iterator, error) { return inner.NewIterator(start, limit) },
+	}, nil
 }
 
 // Put associates value with key.
@@ -107,9 +188,10 @@ func (db *DB) Get(key []byte) ([]byte, error) { return db.inner.Get(key) }
 func (db *DB) Delete(key []byte) error { return db.inner.Delete(key) }
 
 // NewIterator returns an ascending point-in-time scan of [start, limit);
-// nil bounds are unbounded.
-func (db *DB) NewIterator(start, limit []byte) (*lsm.Iterator, error) {
-	return db.inner.NewIterator(start, limit)
+// nil bounds are unbounded. On a sharded store the per-shard snapshots
+// are merged into one globally sorted stream.
+func (db *DB) NewIterator(start, limit []byte) (Iterator, error) {
+	return db.newIter(start, limit)
 }
 
 // Flush forces the memtable to disk and waits for it.
@@ -119,7 +201,8 @@ func (db *DB) Flush() error { return db.inner.Flush() }
 type Batch = lsm.Batch
 
 // Apply commits a batch of writes atomically with respect to concurrent
-// readers and writers.
+// readers and writers. On a sharded store the batch is split and each
+// per-shard sub-batch commits atomically on its shard.
 func (db *DB) Apply(b *Batch) error { return db.inner.Apply(b) }
 
 // Stats returns a human-readable dump of the tree shape and counters.

@@ -1,0 +1,21 @@
+package triad
+
+import "testing"
+
+func TestOpenShardsOneWithShardFS(t *testing.T) {
+	for _, n := range []int{1, 2, 4} {
+		db, err := Open(Options{Shards: n, ShardFS: ShardMemFS()})
+		if err != nil {
+			t.Fatalf("Shards=%d: %v", n, err)
+		}
+		if err := db.Put([]byte("k"), []byte("v")); err != nil {
+			t.Fatalf("Shards=%d Put: %v", n, err)
+		}
+		if v, err := db.Get([]byte("k")); err != nil || string(v) != "v" {
+			t.Fatalf("Shards=%d Get = %q, %v", n, v, err)
+		}
+		if err := db.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
