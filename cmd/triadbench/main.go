@@ -7,11 +7,14 @@
 //	triadbench -experiment all -scale full  # everything, paper-like scale
 //
 // Experiments: fig2, fig7, fig8, fig9a, fig9b (includes 9c), fig9d,
-// fig10, fig11, shardscale, all.
+// fig10, fig11, shardscale, scanlocal, all.
 //
 // -shards N (N > 1) runs every figure against the sharded engine (N lsm
 // instances at the same aggregate memory); the shardscale experiment
-// instead sweeps shard counts 1..N and tabulates the scaling itself.
+// instead sweeps shard counts 1..N and tabulates the scaling itself,
+// and scanlocal compares hash vs range partitioning scan throughput at
+// one shard count. -partitioner hash|range picks the shard router for
+// the figure runs.
 package main
 
 import (
@@ -26,14 +29,21 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("experiment", "all", "which figure to regenerate: fig2|fig7|fig8|fig9a|fig9b|fig9c|fig9d|fig10|fig11|fig10dev|sizetiered|shardscale|all")
+		exp     = flag.String("experiment", "all", "which figure to regenerate: fig2|fig7|fig8|fig9a|fig9b|fig9c|fig9d|fig10|fig11|fig10dev|sizetiered|shardscale|scanlocal|all")
 		scale   = flag.String("scale", "quick", "quick (seconds per figure) or full (paper-like sizes)")
 		keys    = flag.Uint64("keys", 0, "override synthetic key-space size")
 		ops     = flag.Int64("ops", 0, "override timed operation count per run")
 		threads = flag.Int("threads", 0, "override worker count for fixed-thread figures")
-		shards  = flag.Int("shards", 1, "run figures on a sharded engine of N lsm instances; also the shardscale sweep's maximum")
+		shards  = flag.Int("shards", 1, "run figures on a sharded engine of N lsm instances; also the shardscale sweep's maximum and scanlocal's shard count")
+		part    = flag.String("partitioner", "hash", "shard router for sharded runs: hash (balanced point ops) or range (shard-local scans)")
 	)
 	flag.Parse()
+	switch *part {
+	case "hash", "range":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown partitioner %q (want hash or range)\n", *part)
+		os.Exit(2)
+	}
 
 	var s harness.Scale
 	switch *scale {
@@ -58,6 +68,7 @@ func main() {
 	if *shards > 1 {
 		s.Shards = *shards
 	}
+	s.Partitioner = *part
 
 	run := func(name string, fn func() error) {
 		start := time.Now()
@@ -118,6 +129,15 @@ func main() {
 		sweep := s
 		sweep.Shards = 0
 		run("shardscale", func() error { _, err := harness.ShardScale(sweep, *shards, os.Stdout); return err })
+	}
+	if want("scanlocal") {
+		any = true
+		// Compares hash vs range itself, at one shard count.
+		n := *shards
+		if n < 2 {
+			n = 4
+		}
+		run("scanlocal", func() error { _, err := harness.ScanLocality(s, n, os.Stdout); return err })
 	}
 	if !any {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)

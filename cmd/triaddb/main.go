@@ -9,6 +9,15 @@
 //	triaddb -dir /tmp/db scan [start [limit]]
 //	triaddb -dir /tmp/db stats
 //	triaddb -dir /tmp/db bench -n 100000
+//
+// Sharded stores: -shards N partitions the keyspace across N engine
+// instances under DIR/shard-NNN. -partitioner range -splits g,n,t
+// creates a range-partitioned store (scans stay shard-local); the
+// partitioner and shard count are persisted in each shard's STORE
+// record, so reopening with a different -shards or -partitioner fails
+// with a descriptive error instead of silently misrouting keys. An
+// existing store reopens with its stored partitioner when the flag is
+// left empty.
 package main
 
 import (
@@ -16,6 +25,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 	"time"
 
 	triad "repro"
@@ -25,14 +36,16 @@ import (
 
 func main() {
 	var (
-		dir      = flag.String("dir", "triaddb-data", "database directory")
-		baseline = flag.Bool("baseline", false, "use the RocksDB-like baseline profile instead of TRIAD")
-		shards   = flag.Int("shards", 1, "hash-partition the keyspace across N engine instances under DIR/shard-NNN (must match across opens of the same store)")
+		dir         = flag.String("dir", "triaddb-data", "database directory")
+		baseline    = flag.Bool("baseline", false, "use the RocksDB-like baseline profile instead of TRIAD")
+		shards      = flag.Int("shards", 1, "partition the keyspace across N engine instances under DIR/shard-NNN (must match the count the store was created with)")
+		partitioner = flag.String("partitioner", "", "shard router: hash (default for new stores) or range; an existing store's stored partitioner is adopted when empty")
+		splits      = flag.String("splits", "", "comma-separated ascending split keys for -partitioner range (N-1 keys for N shards), e.g. -splits g,n,t")
 	)
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: triaddb [-dir DIR] [-baseline] [-shards N] put|get|del|scan|stats|bench ...")
+		fmt.Fprintln(os.Stderr, "usage: triaddb [-dir DIR] [-baseline] [-shards N] [-partitioner hash|range] [-splits a,b,c] put|get|del|scan|stats|bench ...")
 		os.Exit(2)
 	}
 
@@ -40,11 +53,22 @@ func main() {
 	if *baseline {
 		profile = triad.ProfileBaseline
 	}
-	opts := triad.Options{Profile: profile}
+	opts := triad.Options{Profile: profile, Partitioner: *partitioner}
+	if *splits != "" {
+		for _, s := range strings.Split(*splits, ",") {
+			opts.RangeSplits = append(opts.RangeSplits, []byte(s))
+		}
+	}
 	if *shards > 1 {
 		opts.Shards = *shards
 		opts.ShardFS = triad.ShardDirs(*dir)
 	} else {
+		// Refuse to open the root of a sharded store as one instance:
+		// the shard subdirectories would be invisible and every key
+		// would read as missing.
+		if st, err := os.Stat(filepath.Join(*dir, "shard-000")); err == nil && st.IsDir() {
+			fatalIf(fmt.Errorf("store at %s was created sharded (found shard-000/); pass -shards with the original count", *dir))
+		}
 		fs, err := vfs.NewOSFS(*dir)
 		fatalIf(err)
 		opts.FS = fs
@@ -90,6 +114,11 @@ func main() {
 		fmt.Printf("bytes: logged %d  flushed %d  compacted %d\n",
 			m.BytesLogged, m.BytesFlushed, m.BytesCompacted)
 		fmt.Printf("WA: %.2f  RA: %.2f\n", m.WriteAmplification(), m.ReadAmplification())
+		if *shards > 1 {
+			// The sharded engine's dump adds the partitioner and the
+			// per-shard balance table.
+			fmt.Print(db.Stats())
+		}
 	case "bench":
 		fsBench := flag.NewFlagSet("bench", flag.ExitOnError)
 		n := fsBench.Int64("n", 100_000, "operations")

@@ -32,6 +32,10 @@ type Scale struct {
 	// of that many lsm instances at the same aggregate memory budget
 	// (see Spec.Shards). 0 or 1 keeps the single-instance engine.
 	Shards int
+	// Partitioner is the shard router for sharded runs: "" or "hash"
+	// for FNV, "range" for even contiguous keyspace slices (see
+	// Spec.Partitioner).
+	Partitioner string
 }
 
 // QuickScale regenerates every figure in roughly a minute total.
@@ -113,6 +117,7 @@ func (s Scale) runCell(label, mode string, dist workload.KeyDist, readFrac float
 		// memory (DivideBudgets is the identity for Shards <= 1).
 		Engine:              shard.DivideBudgets(s.engine(mode), s.Shards),
 		Shards:              s.Shards,
+		Partitioner:         s.Partitioner,
 		Mix:                 workload.Mix{Dist: dist, ReadFraction: readFrac},
 		Threads:             threads,
 		Ops:                 ops,

@@ -59,6 +59,12 @@ type Spec struct {
 	// Latency.Device is set (the scale-out deployment: one disk per
 	// shard). Default false: all shards contend on the one device.
 	DevicePerShard bool
+	// Partitioner selects the shard router when Shards > 1: "" or
+	// "hash" routes by FNV, "range" slices the synthetic EncodeKey
+	// keyspace into Shards equal contiguous ranges (EvenRangeSplits),
+	// so the same workload can be compared under both routings at
+	// identical budgets.
+	Partitioner string
 	// Mix is the operation mix (distribution, read fraction, sizes).
 	Mix workload.Mix
 	// Threads is the number of concurrent workers.
@@ -123,9 +129,14 @@ func Run(spec Spec) (Result, error) {
 	var db Engine
 	var err error
 	if spec.Shards > 1 {
+		var part shard.Partitioner
+		if part, err = spec.partitioner(); err != nil {
+			return Result{}, err
+		}
 		db, err = shard.Open(shard.Options{
-			Shards: spec.Shards,
-			Engine: opts,
+			Shards:      spec.Shards,
+			Engine:      opts,
+			Partitioner: part,
 			NewFS: func(int) (vfs.FS, error) {
 				fs := vfs.NewMemFS()
 				lat := spec.Latency
@@ -241,6 +252,37 @@ func Run(spec Spec) (Result, error) {
 	res.P99 = res.Lat.Quantile(0.99)
 	res.P999 = res.Lat.Quantile(0.999)
 	return res, nil
+}
+
+// partitioner maps Spec.Partitioner onto a shard-layer partitioner.
+func (spec Spec) partitioner() (shard.Partitioner, error) {
+	switch spec.Partitioner {
+	case "", "hash":
+		return nil, nil
+	case "range":
+		keySize := spec.Mix.KeySize
+		if keySize <= 0 {
+			keySize = 8
+		}
+		return shard.NewRange(EvenRangeSplits(spec.Mix.Dist.Keys(), keySize, spec.Shards)...)
+	default:
+		return nil, fmt.Errorf("harness: unknown partitioner %q (want \"hash\" or \"range\")", spec.Partitioner)
+	}
+}
+
+// EvenRangeSplits returns the shards-1 split keys that divide the
+// synthetic EncodeKey keyspace [0, keys) into equal contiguous slices —
+// the range-partitioner configuration under which the synthetic
+// workloads are balanced, so hash-vs-range comparisons isolate scan
+// locality rather than skew.
+func EvenRangeSplits(keys uint64, keySize, shards int) [][]byte {
+	splits := make([][]byte, 0, shards-1)
+	for i := 1; i < shards; i++ {
+		k := make([]byte, keySize)
+		workload.EncodeKey(k, keys*uint64(i)/uint64(shards))
+		splits = append(splits, k)
+	}
+	return splits
 }
 
 // prepopulate inserts PrepopulateFraction of the key space with the mix's

@@ -1,0 +1,129 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/shard"
+	"repro/internal/workload"
+)
+
+// ScanLocality is the scan-locality experiment (not a paper figure; the
+// range-partitioner extension). It loads the same ordered keyspace into
+// two sharded stores at identical budgets — one hash-partitioned, one
+// range-partitioned into even contiguous slices — and drives short range
+// scans (1% of the keyspace each) from random starts.
+//
+// Under hash partitioning every scan touches all shards and pays a
+// k-way heap merge; under range partitioning most scans fall inside one
+// shard's slice and return that shard's iterator verbatim (at most two
+// shards when a scan straddles a split). The table reports scans/s and
+// scanned keys/s per partitioner, and the range:hash speedup — the win
+// the TRIAD techniques' deferred disk work makes room for, restored on
+// scans by scan-local routing.
+func ScanLocality(s Scale, shards int, w io.Writer) ([]Cell, error) {
+	if shards < 2 {
+		shards = 4
+	}
+	const keySize = 8
+	span := s.Keys / 100
+	if span == 0 {
+		span = 1
+	}
+	// Visit ~s.Ops entries per partitioner so quick and full scale
+	// both finish in sensible time.
+	scans := int(s.Ops / int64(span))
+	if scans < 50 {
+		scans = 50
+	}
+
+	var cells []Cell
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "Scan locality: %d shards, %d scans of %d keys (1%% spans), same budgets\n",
+		shards, scans, span)
+	fmt.Fprintln(tw, "partitioner\tscans/s\tkeys/s\tshards/scan")
+	for _, mode := range []string{"hash", "range"} {
+		var part shard.Partitioner
+		if mode == "range" {
+			var err error
+			part, err = shard.NewRange(EvenRangeSplits(s.Keys, keySize, shards)...)
+			if err != nil {
+				return nil, err
+			}
+		}
+		db, err := shard.Open(shard.Options{
+			Shards:      shards,
+			Engine:      shard.DivideBudgets(s.engine("triad"), shards),
+			NewFS:       shard.MemFS(),
+			Partitioner: part,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", mode, err)
+		}
+		key := make([]byte, keySize)
+		val := make([]byte, 128)
+		for i := uint64(0); i < s.Keys; i++ {
+			workload.EncodeKey(key, i)
+			if err := db.Put(key, val); err != nil {
+				db.Close()
+				return nil, fmt.Errorf("%s: load: %w", mode, err)
+			}
+		}
+		// Settle so both stores scan an equivalent on-disk tree.
+		if err := db.Flush(); err != nil {
+			db.Close()
+			return nil, err
+		}
+		if err := db.CompactAll(); err != nil {
+			db.Close()
+			return nil, err
+		}
+
+		rng := rand.New(rand.NewSource(1))
+		lo := make([]byte, keySize)
+		hi := make([]byte, keySize)
+		var entries, shardsTouched int64
+		start := time.Now()
+		for i := 0; i < scans; i++ {
+			a := uint64(rng.Int63n(int64(s.Keys - span + 1)))
+			workload.EncodeKey(lo, a)
+			workload.EncodeKey(hi, a+span)
+			idx, _ := db.Partitioner().Ranges(lo, hi, db.NumShards())
+			shardsTouched += int64(len(idx))
+			it, err := db.NewIterator(lo, hi)
+			if err != nil {
+				db.Close()
+				return nil, fmt.Errorf("%s: scan: %w", mode, err)
+			}
+			for it.Next() {
+				entries++
+			}
+		}
+		elapsed := time.Since(start)
+		if err := db.Close(); err != nil {
+			return nil, err
+		}
+
+		res := Result{
+			Name:    mode,
+			Ops:     int64(scans),
+			Elapsed: elapsed,
+			// KOPS carries scanned keys per millisecond, the headline
+			// scan-throughput number.
+			KOPS: float64(entries) / elapsed.Seconds() / 1000,
+		}
+		cells = append(cells, Cell{Label: mode, Res: res})
+		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%.2f\n",
+			mode,
+			float64(scans)/elapsed.Seconds(),
+			float64(entries)/elapsed.Seconds(),
+			float64(shardsTouched)/float64(scans))
+	}
+	if len(cells) == 2 && cells[0].Res.KOPS > 0 {
+		fmt.Fprintf(tw, "range/hash speedup\t%.2fx\n", cells[1].Res.KOPS/cells[0].Res.KOPS)
+	}
+	return cells, tw.Flush()
+}

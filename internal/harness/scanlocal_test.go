@@ -1,0 +1,84 @@
+package harness
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestEvenRangeSplits: the splits are ascending EncodeKey boundaries
+// that divide [0, keys) into shards slices.
+func TestEvenRangeSplits(t *testing.T) {
+	splits := EvenRangeSplits(1000, 8, 4)
+	if len(splits) != 3 {
+		t.Fatalf("got %d splits, want 3", len(splits))
+	}
+	for i, want := range []uint64{250, 500, 750} {
+		k := make([]byte, 8)
+		workload.EncodeKey(k, want)
+		if !bytes.Equal(splits[i], k) {
+			t.Fatalf("split %d = %x, want EncodeKey(%d)", i, splits[i], want)
+		}
+		if i > 0 && bytes.Compare(splits[i-1], splits[i]) >= 0 {
+			t.Fatalf("splits not ascending at %d", i)
+		}
+	}
+}
+
+// TestRunWithRangePartitioner: the harness runs a spec under "range"
+// routing end to end (the hash-vs-range comparison path of every
+// experiment), and rejects unknown partitioner names.
+func TestRunWithRangePartitioner(t *testing.T) {
+	s := Scale{Keys: 4000, Ops: 6000, MemtableBytes: 64 << 10, Threads: 4}
+	spec := Spec{
+		Name:                "range-smoke",
+		Engine:              s.engine("triad"),
+		Shards:              4,
+		Partitioner:         "range",
+		Mix:                 workload.Mix{Dist: workload.Uniform{N: s.Keys}, ReadFraction: 0.2},
+		Threads:             s.Threads,
+		Ops:                 s.Ops,
+		PrepopulateFraction: 0.5,
+		Seed:                1,
+	}
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 || res.KOPS <= 0 {
+		t.Fatalf("empty result: %+v", res)
+	}
+	spec.Partitioner = "zone"
+	if _, err := Run(spec); err == nil {
+		t.Fatal("unknown partitioner accepted")
+	}
+}
+
+// TestScanLocality smoke-runs the hash-vs-range scan experiment at a
+// tiny scale and checks the range rows exist and the table renders.
+func TestScanLocality(t *testing.T) {
+	s := Scale{Keys: 3000, Ops: 3000, MemtableBytes: 64 << 10, Threads: 2}
+	var buf strings.Builder
+	cells, err := ScanLocality(s, 4, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2 || cells[0].Label != "hash" || cells[1].Label != "range" {
+		t.Fatalf("cells = %+v", cells)
+	}
+	for _, c := range cells {
+		if c.Res.KOPS <= 0 || c.Res.Ops == 0 {
+			t.Fatalf("%s: empty result %+v", c.Label, c.Res)
+		}
+	}
+	if !strings.Contains(buf.String(), "speedup") {
+		t.Fatalf("table missing speedup row:\n%s", buf.String())
+	}
+	// Bad shard counts are normalized, not fatal.
+	if _, err := ScanLocality(s, 0, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}

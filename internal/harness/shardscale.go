@@ -59,6 +59,7 @@ func ShardScale(s Scale, maxShards int, w io.Writer) ([]Cell, error) {
 			Name:                label,
 			Engine:              s.engine("triad"),
 			Shards:              n,
+			Partitioner:         s.Partitioner,
 			DevicePerShard:      true,
 			Mix:                 workload.Mix{Dist: s.ws3(), ReadFraction: 0.1},
 			Threads:             s.Threads,

@@ -9,11 +9,21 @@
 // pipelines, while TRIAD's three techniques (hot/cold flush separation,
 // HLL-gated L0 compaction, CL-SSTables) compose per shard unchanged.
 //
+// Two partitioners route keys to shards. FNV (the default) hashes, which
+// balances any keyspace but scatters contiguous ranges over every shard;
+// Range routes by sorted split keys, keeping contiguous ranges on one
+// shard so scans stay shard-local. The active partitioner and shard
+// count are persisted in a checksummed STORE record on every shard's
+// filesystem; Open validates it on reopen and fails fast on a mismatch
+// instead of silently misrouting keys.
+//
 // shard.DB exposes the same surface as lsm.DB: point operations route to
 // the owning shard, Apply splits a batch into per-shard sub-batches
-// applied concurrently, NewIterator performs a k-way heap merge of the
-// per-shard snapshots into one globally sorted stream, and
-// Flush/CompactAll/Close fan out to every shard and drain them.
+// applied concurrently, NewIterator plans the scan with the
+// partitioner's ownership query (one shard: that shard's iterator,
+// verbatim; several contiguous shards: concatenation in key order;
+// hashed: a k-way heap merge), and Flush/CompactAll/Close fan out to
+// every shard and drain them.
 package shard
 
 import (
@@ -40,7 +50,10 @@ type Options struct {
 	// NewFS returns shard i's filesystem; required. Every shard needs a
 	// namespace of its own — MemFS and DirFS are ready-made factories.
 	NewFS func(i int) (vfs.FS, error)
-	// Partitioner routes keys to shards; nil means FNV{}.
+	// Partitioner routes keys to shards. nil adopts the partitioner the
+	// store's STORE metadata records (new stores default to FNV{}); a
+	// non-nil partitioner must match what the store was created with,
+	// or Open fails rather than misroute.
 	Partitioner Partitioner
 }
 
@@ -94,7 +107,12 @@ type DB struct {
 }
 
 // Open opens (creating or recovering) every shard. Recovery is
-// per-shard: each instance replays its own manifest and commit log.
+// per-shard: each instance replays its own manifest and commit log. The
+// store-wide configuration is checked first: on create, a STORE metadata
+// record (shard count + partitioner) is written to every shard's
+// filesystem; on reopen, the records are validated against Options and
+// a mismatched shard count or partitioner is an error — the alternative
+// is serving reads that silently miss the keys routed elsewhere.
 func Open(o Options) (*DB, error) {
 	if o.Shards < 1 {
 		o.Shards = 1
@@ -102,20 +120,23 @@ func Open(o Options) (*DB, error) {
 	if o.NewFS == nil {
 		return nil, errors.New("shard: Options.NewFS is required")
 	}
-	part := o.Partitioner
-	if part == nil {
-		part = FNV{}
-	}
-	db := &DB{part: part, shards: make([]*lsm.DB, 0, o.Shards)}
-	for i := 0; i < o.Shards; i++ {
+	fses := make([]vfs.FS, o.Shards)
+	for i := range fses {
 		fs, err := o.NewFS(i)
 		if err == nil && fs == nil {
 			err = errors.New("nil filesystem")
 		}
 		if err != nil {
-			db.closeAll()
 			return nil, fmt.Errorf("shard %d: %w", i, err)
 		}
+		fses[i] = fs
+	}
+	part, err := resolvePartitioner(fses, o.Partitioner)
+	if err != nil {
+		return nil, err
+	}
+	db := &DB{part: part, shards: make([]*lsm.DB, 0, o.Shards)}
+	for i, fs := range fses {
 		eo := o.Engine
 		eo.FS = fs
 		// Decorrelate the per-shard skiplist seeds so shards do not
@@ -129,6 +150,68 @@ func Open(o Options) (*DB, error) {
 		db.shards = append(db.shards, s)
 	}
 	return db, nil
+}
+
+// resolvePartitioner reconciles the requested partitioner with the STORE
+// records on the shard filesystems: validates count and routing on
+// reopen, adopts the stored partitioner when none was requested, and
+// writes records where absent (store creation, or a store predating the
+// metadata format — the one case that cannot be validated).
+func resolvePartitioner(fses []vfs.FS, requested Partitioner) (Partitioner, error) {
+	n := len(fses)
+	metas := make([]*storeMeta, n)
+	var ref *storeMeta
+	for i, fs := range fses {
+		m, ok, err := readStoreMeta(fs)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		if !ok {
+			continue
+		}
+		if m.Shard != i {
+			return nil, fmt.Errorf("shard: shard %d's filesystem holds shard %d's metadata — shard directories shuffled or miswired", i, m.Shard)
+		}
+		metas[i] = &m
+		if ref == nil {
+			ref = &m
+		} else if m.Shards != ref.Shards || m.Partitioner != ref.Partitioner {
+			return nil, fmt.Errorf("shard: shards disagree on store metadata (shard %d: %d shards, partitioner %q; shard %d: %d shards, partitioner %q)",
+				ref.Shard, ref.Shards, ref.Partitioner, i, m.Shards, m.Partitioner)
+		}
+	}
+	part := requested
+	if ref != nil {
+		if ref.Shards != n {
+			return nil, fmt.Errorf("shard: store was created with %d shards (partitioner %q); reopening with %d shards would misroute keys — pass the original shard count",
+				ref.Shards, ref.Partitioner, n)
+		}
+		if part == nil {
+			var err error
+			part, err = partitionerFromName(ref.Partitioner)
+			if err != nil {
+				return nil, err
+			}
+		} else if part.Name() != ref.Partitioner {
+			return nil, fmt.Errorf("shard: store was created with partitioner %q; reopening with %q would misroute keys",
+				ref.Partitioner, part.Name())
+		}
+	}
+	if part == nil {
+		part = FNV{}
+	}
+	if r, ok := part.(*Range); ok && r.NumShards() != n {
+		return nil, fmt.Errorf("shard: range partitioner implies %d shards (splits+1), Options.Shards is %d", r.NumShards(), n)
+	}
+	for i, fs := range fses {
+		if metas[i] != nil {
+			continue
+		}
+		if err := writeStoreMeta(fs, metaFor(part, n, i)); err != nil {
+			return nil, fmt.Errorf("shard %d: write store metadata: %w", i, err)
+		}
+	}
+	return part, nil
 }
 
 // NumShards reports the shard count.

@@ -3,41 +3,123 @@ package shard
 import (
 	"bytes"
 	"container/heap"
+	"errors"
+	"sync"
 
 	"repro/internal/lsm"
 )
 
-// Iterator is an ascending, globally sorted scan across every shard,
-// produced by a k-way heap merge of the per-shard snapshot iterators.
-// Each key lives on exactly one shard, so the merge needs no
-// deduplication; ordering is by key alone.
+// Iter is the iterator surface DB.NewIterator returns. Which concrete
+// type backs it depends on what the partitioner's ownership query says
+// about the scan bounds:
 //
-// Like lsm.Iterator, the snapshot is materialized at creation. Each
-// shard's snapshot is point-in-time consistent; the snapshots of
-// different shards are taken concurrently but not at one global instant
-// (there is no cross-shard write ordering to preserve — only writes to
-// the same key order, and a key never changes shards).
-type Iterator struct {
+//   - one shard can hold the range  → that shard's *lsm.Iterator,
+//     verbatim (no cross-shard machinery at all);
+//   - several shards, in key order  → *Concat, per-shard iterators
+//     visited back to back;
+//   - hashed (any shard, any order) → *Merged, a k-way heap merge.
+type Iter interface {
+	// Next advances; the iterator starts before the first entry.
+	Next() bool
+	// Key returns the current key.
+	Key() []byte
+	// Value returns the current value.
+	Value() []byte
+	// Len reports the total number of entries in the snapshot.
+	Len() int
+}
+
+// NewIterator snapshots the range [start, limit) (nil bounds are
+// unbounded) on every shard the partitioner says can hold it, in
+// parallel, and returns the cheapest iterator the ownership structure
+// allows. Each shard's snapshot is point-in-time consistent; the
+// snapshots of different shards are taken concurrently but not at one
+// global instant (there is no cross-shard write ordering to preserve —
+// only writes to the same key order, and a key never changes shards).
+func (db *DB) NewIterator(start, limit []byte) (Iter, error) {
+	idx, ordered := db.part.Ranges(start, limit, len(db.shards))
+	if len(idx) == 0 {
+		return &Concat{}, nil
+	}
+	its := make([]*lsm.Iterator, len(idx))
+	errs := make([]error, len(idx))
+	var wg sync.WaitGroup
+	for j, i := range idx {
+		wg.Add(1)
+		go func(j, i int) {
+			defer wg.Done()
+			its[j], errs[j] = db.shards[i].NewIterator(start, limit)
+		}(j, i)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	if ordered {
+		if len(its) == 1 {
+			// Single-shard fast path: the scan is entirely one shard's,
+			// so its iterator is the scan — no heap, no indirection.
+			return its[0], nil
+		}
+		return NewConcat(its), nil
+	}
+	return newMerged(its), nil
+}
+
+// Concat visits per-shard iterators back to back. It is correct exactly
+// when the partitioner guarantees the shards hold disjoint contiguous
+// key slices in visiting order (Ranges reported ordered == true), which
+// makes every advance O(1) — no comparisons, no heap — while still
+// yielding one globally sorted stream.
+type Concat struct {
+	its []*lsm.Iterator
+	pos int
+	n   int
+}
+
+// NewConcat builds a concatenation over iterators whose key ranges are
+// disjoint and ascending in slice order.
+func NewConcat(its []*lsm.Iterator) *Concat {
+	c := &Concat{its: its}
+	for _, it := range its {
+		c.n += it.Len()
+	}
+	return c
+}
+
+// Next advances; the iterator starts before the first entry.
+func (c *Concat) Next() bool {
+	for c.pos < len(c.its) {
+		if c.its[c.pos].Next() {
+			return true
+		}
+		c.pos++
+	}
+	return false
+}
+
+// Key returns the current key.
+func (c *Concat) Key() []byte { return c.its[c.pos].Key() }
+
+// Value returns the current value.
+func (c *Concat) Value() []byte { return c.its[c.pos].Value() }
+
+// Len reports the total number of entries in the snapshot.
+func (c *Concat) Len() int { return c.n }
+
+// Merged is an ascending, globally sorted scan across shards whose key
+// ownership is scattered (hash partitioning), produced by a k-way heap
+// merge of the per-shard snapshot iterators. Each key lives on exactly
+// one shard, so the merge needs no deduplication; ordering is by key
+// alone.
+type Merged struct {
 	h   iterHeap
 	cur *lsm.Iterator // source of the current entry; nil before first Next
 	n   int           // total entries across all shards
 }
 
-// NewIterator snapshots the range [start, limit) on every shard in
-// parallel (nil bounds are unbounded) and returns the merged scan.
-func (db *DB) NewIterator(start, limit []byte) (*Iterator, error) {
-	its := make([]*lsm.Iterator, len(db.shards))
-	if err := db.fanOut(func(i int, s *lsm.DB) error {
-		it, err := s.NewIterator(start, limit)
-		if err != nil {
-			return err
-		}
-		its[i] = it
-		return nil
-	}); err != nil {
-		return nil, err
-	}
-	out := &Iterator{}
+func newMerged(its []*lsm.Iterator) *Merged {
+	out := &Merged{}
 	for _, it := range its {
 		out.n += it.Len()
 		if it.Next() {
@@ -45,11 +127,11 @@ func (db *DB) NewIterator(start, limit []byte) (*Iterator, error) {
 		}
 	}
 	heap.Init(&out.h)
-	return out, nil
+	return out
 }
 
 // Next advances; the iterator starts before the first entry.
-func (it *Iterator) Next() bool {
+func (it *Merged) Next() bool {
 	if it.cur != nil {
 		// Re-admit the source we last yielded from, now at its next
 		// position (or retire it when exhausted).
@@ -66,13 +148,13 @@ func (it *Iterator) Next() bool {
 }
 
 // Key returns the current key.
-func (it *Iterator) Key() []byte { return it.cur.Key() }
+func (it *Merged) Key() []byte { return it.cur.Key() }
 
 // Value returns the current value.
-func (it *Iterator) Value() []byte { return it.cur.Value() }
+func (it *Merged) Value() []byte { return it.cur.Value() }
 
 // Len reports the total number of entries in the merged snapshot.
-func (it *Iterator) Len() int { return it.n }
+func (it *Merged) Len() int { return it.n }
 
 // iterHeap is a min-heap of shard iterators ordered by current key.
 type iterHeap []*lsm.Iterator

@@ -236,6 +236,13 @@ func (modPartitioner) Partition(key []byte, n int) int {
 	}
 	return int(key[len(key)-1]) % n
 }
+func (modPartitioner) Ranges(start, limit []byte, n int) ([]int, bool) {
+	shards := make([]int, n)
+	for i := range shards {
+		shards[i] = i
+	}
+	return shards, n <= 1
+}
 func (modPartitioner) Name() string { return "mod-last-byte" }
 
 func TestCustomPartitioner(t *testing.T) {

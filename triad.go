@@ -24,6 +24,7 @@ package triad
 
 import (
 	"errors"
+	"fmt"
 
 	"repro/internal/lsm"
 	"repro/internal/memtable"
@@ -66,8 +67,23 @@ type Options struct {
 	Shards int
 	// ShardFS supplies shard i's filesystem when Shards > 1. Use
 	// ShardMemFS() for an ephemeral store or ShardDirs(dir) to root each
-	// shard in its own subdirectory of dir.
+	// shard in its own subdirectory of dir. When ShardFS is set, the
+	// store always opens through the shard layer (even at Shards <= 1)
+	// so the persisted store metadata is validated: reopening with a
+	// shard count or partitioner different from creation returns an
+	// error instead of silently misrouting keys.
 	ShardFS func(i int) (vfs.FS, error)
+	// Partitioner selects how keys map to shards when sharded: "hash"
+	// (FNV-1a; balanced point ops, scans merge across all shards) or
+	// "range" (sorted RangeSplits; contiguous scans stay shard-local).
+	// Empty adopts whatever a durable store was created with, defaulting
+	// to hash for new stores — or to range when RangeSplits is set.
+	Partitioner string
+	// RangeSplits are the Shards-1 strictly ascending split keys of the
+	// "range" partitioner: shard 0 owns keys below RangeSplits[0], shard
+	// i owns [RangeSplits[i-1], RangeSplits[i]), the last shard owns the
+	// tail. Ignored by "hash".
+	RangeSplits [][]byte
 	// Advanced, when non-nil, is used verbatim (FS must still be set;
 	// under Shards > 1 it is the per-shard template instead).
 	Advanced *lsm.Options
@@ -140,15 +156,29 @@ func Open(o Options) (*DB, error) {
 		}
 		opts.SyncWAL = o.SyncWAL
 	}
-	if o.Shards > 1 {
-		if o.ShardFS == nil {
-			return nil, errors.New("triad: Shards > 1 requires ShardFS (use ShardMemFS or ShardDirs)")
-		}
+	if o.Shards > 1 && o.ShardFS == nil {
+		return nil, errors.New("triad: Shards > 1 requires ShardFS (use ShardMemFS or ShardDirs)")
+	}
+	// Validate the partitioner knobs whether or not they will be used:
+	// silently dropping a requested routing configuration is exactly the
+	// misconfiguration class the store metadata exists to fail fast on.
+	part, err := o.partitioner()
+	if err != nil {
+		return nil, err
+	}
+	if o.ShardFS == nil && (o.Partitioner != "" || len(o.RangeSplits) > 0) {
+		return nil, errors.New("triad: Partitioner/RangeSplits apply to sharded stores only — set Shards and ShardFS")
+	}
+	if o.ShardFS != nil {
+		// Every ShardFS store — including a caller parameterizing the
+		// shard count down to one — opens through the shard layer, which
+		// owns the durable store metadata and its reopen validation.
 		opts.FS = nil
 		inner, err := shard.Open(shard.Options{
-			Shards: o.Shards,
-			Engine: opts,
-			NewFS:  o.ShardFS,
+			Shards:      o.Shards,
+			Engine:      opts,
+			NewFS:       o.ShardFS,
+			Partitioner: part,
 		})
 		if err != nil {
 			return nil, err
@@ -158,16 +188,6 @@ func Open(o Options) (*DB, error) {
 			newIter: func(start, limit []byte) (Iterator, error) { return inner.NewIterator(start, limit) },
 		}, nil
 	}
-	// Shards <= 1 with a ShardFS factory (a caller parameterizing the
-	// shard count down to one) still opens a single instance, on the
-	// factory's shard-0 filesystem.
-	if opts.FS == nil && o.ShardFS != nil {
-		fs, err := o.ShardFS(0)
-		if err != nil {
-			return nil, err
-		}
-		opts.FS = fs
-	}
 	inner, err := lsm.Open(opts)
 	if err != nil {
 		return nil, err
@@ -176,6 +196,27 @@ func Open(o Options) (*DB, error) {
 		inner:   inner,
 		newIter: func(start, limit []byte) (Iterator, error) { return inner.NewIterator(start, limit) },
 	}, nil
+}
+
+// partitioner maps the string-typed Options knobs onto a shard-layer
+// partitioner; nil means "adopt the stored one, defaulting to hash".
+func (o Options) partitioner() (shard.Partitioner, error) {
+	switch o.Partitioner {
+	case "":
+		if len(o.RangeSplits) == 0 {
+			return nil, nil
+		}
+		return shard.NewRange(o.RangeSplits...)
+	case "hash":
+		return shard.FNV{}, nil
+	case "range":
+		if len(o.RangeSplits) == 0 {
+			return nil, errors.New(`triad: Partitioner "range" requires RangeSplits (Shards-1 ascending keys)`)
+		}
+		return shard.NewRange(o.RangeSplits...)
+	default:
+		return nil, fmt.Errorf("triad: unknown Partitioner %q (want \"hash\" or \"range\")", o.Partitioner)
+	}
 }
 
 // Put associates value with key.
