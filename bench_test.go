@@ -483,6 +483,39 @@ func BenchmarkRangeScanSharded(b *testing.B) {
 	}
 }
 
+// BenchmarkNetThroughput drives the RESP network front end over
+// loopback TCP: 8 pipelined client connections, 90% SET / 10% GET,
+// group commit on vs off. The gc-on/gc-off kops ratio is the headline —
+// coalescing all connections' writes into shard-split batches should
+// beat one Apply per command once connections contend.
+func BenchmarkNetThroughput(b *testing.B) {
+	s := benchScale()
+	s.Keys = 20_000
+	s.Ops = 40_000
+	for i := 0; i < b.N; i++ {
+		cells, err := harness.NetThroughput(s, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Report the 8-connection pair, selected by label so the
+		// harness's connection-count sweep can change freely.
+		byLabel := func(label string) harness.Result {
+			for _, c := range cells {
+				if c.Label == label {
+					return c.Res
+				}
+			}
+			b.Fatalf("no cell labeled %q", label)
+			return harness.Result{}
+		}
+		on, off := byLabel("net c=8 gc=on"), byLabel("net c=8 gc=off")
+		b.ReportMetric(on.KOPS, "gc_kops")
+		b.ReportMetric(off.KOPS, "perop_kops")
+		b.ReportMetric(on.KOPS/off.KOPS, "gain")
+		b.ReportMetric(float64(on.P99.Nanoseconds())/1000, "gc_p99_us")
+	}
+}
+
 // --- Micro-benchmarks for the public API ---
 
 // BenchmarkPut measures the raw write path (WAL append + memtable).

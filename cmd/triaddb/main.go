@@ -30,6 +30,7 @@ import (
 	"time"
 
 	triad "repro"
+	"repro/internal/shutdown"
 	"repro/internal/vfs"
 	"repro/internal/workload"
 )
@@ -127,8 +128,17 @@ func main() {
 		fatalIf(fsBench.Parse(args[1:]))
 		mix := workload.Mix{Dist: workload.HotCold{N: *keys, HotFraction: 0.01, HotAccess: 0.99}, ReadFraction: *reads}
 		stream := mix.NewStream(1)
+		// SIGINT/SIGTERM stop the loop instead of killing the process,
+		// so the deferred Close flushes buffered work to disk.
+		ctx, stop := shutdown.Notify()
+		defer stop()
 		start := time.Now()
-		for i := int64(0); i < *n; i++ {
+		done := int64(0)
+		for ; done < *n; done++ {
+			if done%1024 == 0 && ctx.Err() != nil {
+				fmt.Fprintln(os.Stderr, "triaddb: interrupted, flushing")
+				break
+			}
 			op := stream.Next()
 			if op.Read {
 				if _, err := db.Get(op.Key); err != nil && !errors.Is(err, triad.ErrNotFound) {
@@ -139,7 +149,7 @@ func main() {
 			}
 		}
 		el := time.Since(start)
-		fmt.Printf("%d ops in %s = %.1f KOPS\n", *n, el.Round(time.Millisecond), float64(*n)/el.Seconds()/1000)
+		fmt.Printf("%d ops in %s = %.1f KOPS\n", done, el.Round(time.Millisecond), float64(done)/el.Seconds()/1000)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown command %q\n", args[0])
 		os.Exit(2)

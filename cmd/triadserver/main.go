@@ -1,0 +1,229 @@
+// Command triadserver exposes a TRIAD store over a RESP2-compatible
+// wire protocol, with per-connection pipelining and cross-connection
+// group commit (see internal/server).
+//
+// Usage:
+//
+//	triadserver -addr :6379                          # ephemeral in-memory store
+//	triadserver -addr :6379 -dir /var/lib/triad      # durable store
+//	triadserver -addr :6379 -dir d -shards 4         # sharded under d/shard-NNN
+//	triadserver -addr :6379 -dir d -shards 4 -partitioner range -splits g,n,t
+//	triadserver -addr :6379 -metrics 127.0.0.1:9379  # plain-text /metrics dump
+//
+// Commands: GET, SET, DEL, MGET, MSET, SCAN, STATS, FLUSH, PING, QUIT.
+// Any RESP2 client works, redis-cli included:
+//
+//	redis-cli -p 6379 SET user:1 alice
+//	redis-cli -p 6379 GET user:1
+//
+// Group commit coalesces writes from all connections into shard-split
+// batches; tune with -commit-delay / -commit-ops / -commit-bytes, or
+// compare against one-Apply-per-command with -no-group-commit.
+//
+// SIGINT/SIGTERM drain gracefully: stop accepting, finish in-flight
+// pipelines (committing their writes), flush memtables, close the store.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/lsm"
+	"repro/internal/server"
+	"repro/internal/shard"
+	"repro/internal/shutdown"
+	"repro/internal/vfs"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil))
+}
+
+// run is main, factored for the smoke test: ready (when non-nil) is
+// called with the bound RESP address once the server is accepting.
+func run(args []string, stdout, stderr io.Writer, ready func(addr string)) int {
+	fs := flag.NewFlagSet("triadserver", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr        = fs.String("addr", ":6379", "TCP listen address for the RESP protocol")
+		dir         = fs.String("dir", "", "database directory (empty: ephemeral in-memory store)")
+		baseline    = fs.Bool("baseline", false, "use the RocksDB-like baseline profile instead of TRIAD")
+		shards      = fs.Int("shards", 1, "partition the keyspace across N engine instances (DIR/shard-NNN when durable)")
+		partitioner = fs.String("partitioner", "", "shard router: hash (default for new stores) or range; a durable store's stored partitioner is adopted when empty")
+		splits      = fs.String("splits", "", "comma-separated ascending split keys for -partitioner range (N-1 keys for N shards)")
+		syncWAL     = fs.Bool("sync", false, "fsync the commit log on every group commit")
+		noGC        = fs.Bool("no-group-commit", false, "apply each write in its own batch instead of group-committing")
+		commitDelay = fs.Duration("commit-delay", 0, "hold each write group open this long before committing (0: commit as soon as the committer is free)")
+		commitOps   = fs.Int("commit-ops", 4096, "commit the pending group at this many operations")
+		commitBytes = fs.Int64("commit-bytes", 1<<20, "commit the pending group at this many payload bytes")
+		metricsAddr = fs.String("metrics", "", "HTTP listen address for the plain-text /metrics and /stats dump (empty: disabled)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	db, err := openStore(*dir, *baseline, *syncWAL, *shards, *partitioner, *splits)
+	if err != nil {
+		fmt.Fprintln(stderr, "triadserver:", err)
+		return 1
+	}
+
+	srv := server.New(db, server.Config{
+		DisableGroupCommit: *noGC,
+		CommitDelay:        *commitDelay,
+		CommitMaxOps:       *commitOps,
+		CommitMaxBytes:     *commitBytes,
+		Logf: func(format string, a ...any) {
+			fmt.Fprintf(stderr, format+"\n", a...)
+		},
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "triadserver:", err)
+		db.Close()
+		return 1
+	}
+
+	var metricsSrv *http.Server
+	if *metricsAddr != "" {
+		mln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fmt.Fprintln(stderr, "triadserver: metrics:", err)
+			ln.Close()
+			db.Close()
+			return 1
+		}
+		metricsSrv = &http.Server{Handler: srv.MetricsHandler()}
+		go metricsSrv.Serve(mln)
+		fmt.Fprintf(stdout, "metrics on http://%s/metrics\n", mln.Addr())
+	}
+
+	ctx, stop := shutdown.Notify()
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	fmt.Fprintf(stdout, "triadserver listening on %s (%d shard(s), group commit %s)\n",
+		ln.Addr(), max(*shards, 1), map[bool]string{true: "off", false: "on"}[*noGC])
+	if ready != nil {
+		ready(ln.Addr().String())
+	}
+
+	exit := 0
+	drain := func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		if err := srv.Shutdown(sctx); err != nil {
+			fmt.Fprintln(stderr, "triadserver: drain:", err)
+			exit = 1
+		}
+		cancel()
+	}
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			fmt.Fprintln(stderr, "triadserver:", err)
+			exit = 1
+		}
+		// The listener is gone but connections and the group committer
+		// may still be live; drain them before touching the store.
+		drain()
+	case <-ctx.Done():
+		fmt.Fprintln(stdout, "triadserver: draining...")
+		drain()
+		if err := <-serveErr; err != nil {
+			fmt.Fprintln(stderr, "triadserver:", err)
+			exit = 1
+		}
+	}
+	if metricsSrv != nil {
+		metricsSrv.Close()
+	}
+	// Final flush + close: buffered memtables reach disk before exit.
+	if err := db.Flush(); err != nil {
+		fmt.Fprintln(stderr, "triadserver: final flush:", err)
+		exit = 1
+	}
+	if err := db.Close(); err != nil {
+		fmt.Fprintln(stderr, "triadserver: close:", err)
+		exit = 1
+	}
+	batches, ops := srv.GroupCommitStats()
+	_, conns, cmds := srv.ConnStats()
+	fmt.Fprintf(stdout, "triadserver: served %d commands over %d connections (%d group commits, %d ops)\n",
+		cmds, conns, batches, ops)
+	return exit
+}
+
+// openStore opens the sharded engine the server fronts. The shard layer
+// is used even at one shard so STATS carries the per-shard table and
+// durable stores get the STORE metadata validation.
+func openStore(dir string, baseline, syncWAL bool, shards int, partitioner, splits string) (*shard.DB, error) {
+	engine := lsm.TriadOptions(nil)
+	if baseline {
+		engine = lsm.DefaultOptions(nil)
+	}
+	engine.SyncWAL = syncWAL
+
+	var part shard.Partitioner
+	var splitKeys [][]byte
+	if splits != "" {
+		for _, s := range strings.Split(splits, ",") {
+			splitKeys = append(splitKeys, []byte(s))
+		}
+	}
+	switch partitioner {
+	case "":
+		if len(splitKeys) > 0 {
+			var err error
+			if part, err = shard.NewRange(splitKeys...); err != nil {
+				return nil, err
+			}
+		}
+	case "hash":
+		part = shard.FNV{}
+	case "range":
+		if len(splitKeys) == 0 {
+			return nil, errors.New(`-partitioner range requires -splits (N-1 ascending keys)`)
+		}
+		var err error
+		if part, err = shard.NewRange(splitKeys...); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("unknown -partitioner %q (want hash or range)", partitioner)
+	}
+
+	newFS := shard.MemFS()
+	if dir != "" {
+		newFS = shard.DirFS(dir)
+		if shards <= 1 {
+			// Refuse to open the root of a sharded store as one shard:
+			// the shard subdirectories hold no STORE record at the root,
+			// so the open would look like a fresh create and every key
+			// would silently read as missing.
+			if st, err := os.Stat(filepath.Join(dir, "shard-000")); err == nil && st.IsDir() {
+				return nil, fmt.Errorf("store at %s was created sharded (found shard-000/); pass -shards with the original count", dir)
+			}
+			// Match triaddb's unsharded layout (files at the directory
+			// root, no shard-000/), so the two binaries can serve the
+			// same single-shard store.
+			newFS = func(int) (vfs.FS, error) { return vfs.NewOSFS(dir) }
+		}
+	}
+	return shard.Open(shard.Options{
+		Shards:      shards,
+		Engine:      engine,
+		NewFS:       newFS,
+		Partitioner: part,
+	})
+}

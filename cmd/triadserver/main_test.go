@@ -1,0 +1,143 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+)
+
+// syncBuffer is a goroutine-safe bytes.Buffer: run() writes from the
+// server goroutine while the test reads after exit.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestServerSmoke is the CI smoke: start triadserver on a random port,
+// drive a few hundred ops through internal/client, SIGTERM the process,
+// and assert a clean exit. Runs under -race in CI.
+func TestServerSmoke(t *testing.T) {
+	var stdout, stderr syncBuffer
+	ready := make(chan string, 1)
+	exit := make(chan int, 1)
+	go func() {
+		exit <- run(
+			[]string{"-addr", "127.0.0.1:0", "-shards", "2", "-commit-delay", "100us"},
+			&stdout, &stderr,
+			func(addr string) { ready <- addr },
+		)
+	}()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case code := <-exit:
+		t.Fatalf("server exited early with %d\nstderr: %s", code, stderr.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	const n = 300
+	for i := 0; i < n; i++ {
+		if err := c.Send("SET", []byte(fmt.Sprintf("smoke-%04d", i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if v, err := c.Receive(); err != nil || v.Text() != "OK" {
+			t.Fatalf("reply %d: %v %v", i, v, err)
+		}
+	}
+	for i := 0; i < n; i += 37 {
+		key := []byte(fmt.Sprintf("smoke-%04d", i))
+		v, found, err := c.Get(key)
+		if err != nil || !found || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("%s = %q, %v, %v", key, v, found, err)
+		}
+	}
+	if stats, err := c.Stats(); err != nil || !strings.Contains(stats, "shards: 2") {
+		t.Fatalf("STATS: %v\n%s", err, stats)
+	}
+
+	// Deliver a real SIGTERM to the process; run()'s handler must drain
+	// and exit 0.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("exit code %d\nstderr: %s", code, stderr.String())
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatalf("server did not exit on SIGTERM\nstdout: %s", stdout.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "draining") || !strings.Contains(out, "served") {
+		t.Fatalf("unexpected shutdown transcript:\n%s", out)
+	}
+	if s := stderr.String(); s != "" {
+		t.Fatalf("stderr not empty:\n%s", s)
+	}
+}
+
+// TestBadFlags: configuration errors are exit code 1/2, not hangs.
+func TestBadFlags(t *testing.T) {
+	var stdout, stderr syncBuffer
+	if code := run([]string{"-partitioner", "bogus"}, &stdout, &stderr, nil); code != 1 {
+		t.Fatalf("bogus partitioner: exit %d", code)
+	}
+	if code := run([]string{"-partitioner", "range"}, &stdout, &stderr, nil); code != 1 {
+		t.Fatalf("range without splits: exit %d", code)
+	}
+	if code := run([]string{"-not-a-flag"}, &stdout, &stderr, nil); code != 2 {
+		t.Fatalf("unknown flag: exit %d", code)
+	}
+}
+
+// TestRefusesShardedDirUnsharded: pointing a default (-shards 1) server
+// at the root of a sharded store must fail fast, not serve an empty
+// keyspace.
+func TestRefusesShardedDirUnsharded(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(dir+"/shard-000", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr syncBuffer
+	if code := run([]string{"-addr", "127.0.0.1:0", "-dir", dir}, &stdout, &stderr, nil); code != 1 {
+		t.Fatalf("exit %d, want 1\nstderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "created sharded") {
+		t.Fatalf("missing guidance in error: %s", stderr.String())
+	}
+}

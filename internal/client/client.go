@@ -1,0 +1,372 @@
+// Package client is the pooled, pipelining RESP client for triadserver,
+// used by the tests, the benchmark harness and the examples.
+//
+// A Conn is one connection with two layers of API. The synchronous
+// helpers (Get, Set, Del, MGet, MSet, Scan, ...) issue one command and
+// wait for its reply. The pipelining primitives (Send / Flush / Receive)
+// let a caller keep many commands in flight on one connection — the
+// shape under which the server's group commit does its work:
+//
+//	for i := range keys {
+//		c.Send("SET", keys[i], vals[i])
+//	}
+//	c.Flush()
+//	for range keys {
+//		if _, err := c.Receive(); err != nil { ... }
+//	}
+//
+// A Pool holds idle connections for concurrent callers (checkout with
+// Get, return with Put). A Conn is not safe for concurrent use; a Pool
+// is.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/resp"
+)
+
+// ServerError is an error reply from the server (the RESP "-..." line).
+type ServerError string
+
+// Error implements error.
+func (e ServerError) Error() string { return "server: " + string(e) }
+
+// ErrPoolClosed is returned by Pool.Get after Close.
+var ErrPoolClosed = errors.New("client: pool closed")
+
+// Conn is one client connection. Not safe for concurrent use — use a
+// Pool to share connections across goroutines.
+type Conn struct {
+	nc net.Conn
+	r  *resp.Reader
+	w  *resp.Writer
+	// inflight counts sent-but-unreceived commands, to catch misuse.
+	inflight int
+	broken   bool // protocol or I/O error: the stream can no longer be trusted
+}
+
+// Dial connects to a triadserver at addr.
+func Dial(addr string) (*Conn, error) {
+	return DialTimeout(addr, 5*time.Second)
+}
+
+// DialTimeout connects with a dial timeout.
+func DialTimeout(addr string, d time.Duration) (*Conn, error) {
+	nc, err := net.DialTimeout("tcp", addr, d)
+	if err != nil {
+		return nil, err
+	}
+	return NewConn(nc), nil
+}
+
+// NewConn wraps an established connection (tests use net.Pipe).
+func NewConn(nc net.Conn) *Conn {
+	return &Conn{nc: nc, r: resp.NewReader(nc), w: resp.NewWriter(nc)}
+}
+
+// Close closes the connection.
+func (c *Conn) Close() error { return c.nc.Close() }
+
+// Send queues one command into the write buffer without flushing.
+func (c *Conn) Send(cmd string, args ...[]byte) error {
+	full := make([][]byte, 0, len(args)+1)
+	full = append(full, []byte(cmd))
+	full = append(full, args...)
+	if err := c.w.WriteCommand(full...); err != nil {
+		c.broken = true
+		return err
+	}
+	c.inflight++
+	return nil
+}
+
+// Flush pushes queued commands to the server.
+func (c *Conn) Flush() error {
+	if err := c.w.Flush(); err != nil {
+		c.broken = true
+		return err
+	}
+	return nil
+}
+
+// Receive reads the next reply in pipeline order. Error replies are
+// returned as ServerError; the connection stays usable after them.
+func (c *Conn) Receive() (resp.Value, error) {
+	v, err := c.r.ReadReply()
+	if err != nil {
+		c.broken = true
+		return resp.Value{}, err
+	}
+	if c.inflight > 0 {
+		c.inflight--
+	}
+	if v.IsError() {
+		return v, ServerError(v.Str)
+	}
+	return v, nil
+}
+
+// Do issues one command synchronously: Send + Flush + Receive.
+func (c *Conn) Do(cmd string, args ...[]byte) (resp.Value, error) {
+	if c.inflight != 0 {
+		return resp.Value{}, fmt.Errorf("client: Do with %d replies outstanding (finish the pipeline first)", c.inflight)
+	}
+	if err := c.Send(cmd, args...); err != nil {
+		return resp.Value{}, err
+	}
+	if err := c.Flush(); err != nil {
+		return resp.Value{}, err
+	}
+	return c.Receive()
+}
+
+// Get fetches key; found is false when the key is absent.
+func (c *Conn) Get(key []byte) (value []byte, found bool, err error) {
+	v, err := c.Do("GET", key)
+	if err != nil {
+		return nil, false, err
+	}
+	if v.Null {
+		return nil, false, nil
+	}
+	return v.Str, true, nil
+}
+
+// Set stores value under key.
+func (c *Conn) Set(key, value []byte) error {
+	_, err := c.Do("SET", key, value)
+	return err
+}
+
+// Del removes keys, returning the number of tombstones written.
+func (c *Conn) Del(keys ...[]byte) (int64, error) {
+	v, err := c.Do("DEL", keys...)
+	if err != nil {
+		return 0, err
+	}
+	return v.Int, nil
+}
+
+// MGet fetches keys; absent keys yield nil entries.
+func (c *Conn) MGet(keys ...[]byte) ([][]byte, error) {
+	v, err := c.Do("MGET", keys...)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]byte, len(v.Elems))
+	for i, e := range v.Elems {
+		if !e.Null {
+			out[i] = e.Str
+			if out[i] == nil {
+				out[i] = []byte{}
+			}
+		}
+	}
+	return out, nil
+}
+
+// MSet stores the pairs (key1, val1, key2, val2, ...) atomically within
+// each shard.
+func (c *Conn) MSet(pairs ...[]byte) error {
+	if len(pairs) == 0 || len(pairs)%2 != 0 {
+		return errors.New("client: MSet needs key/value pairs")
+	}
+	_, err := c.Do("MSET", pairs...)
+	return err
+}
+
+// Scan returns up to count key/value pairs of [start, limit) in key
+// order (count <= 0 uses the server's cap). The server may return fewer
+// than count; use ScanAll to page through a whole range.
+func (c *Conn) Scan(start, limit []byte, count int) (keys, vals [][]byte, err error) {
+	args := [][]byte{emptyOK(start), emptyOK(limit)}
+	if count > 0 {
+		args = append(args, []byte(fmt.Sprint(count)))
+	}
+	v, err := c.Do("SCAN", args...)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(v.Elems)%2 != 0 {
+		c.broken = true
+		return nil, nil, errors.New("client: odd SCAN reply")
+	}
+	for i := 0; i+1 < len(v.Elems); i += 2 {
+		keys = append(keys, v.Elems[i].Str)
+		vals = append(vals, v.Elems[i+1].Str)
+	}
+	return keys, vals, nil
+}
+
+// ScanAll pages through [start, limit) until exhaustion. Termination is
+// on an empty page, not a short one: the server caps every reply at its
+// own ScanMaxEntries, which may be smaller than our page size.
+func (c *Conn) ScanAll(start, limit []byte) (keys, vals [][]byte, err error) {
+	const page = 1024
+	next := start
+	for {
+		ks, vs, err := c.Scan(next, limit, page)
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(ks) == 0 {
+			return keys, vals, nil
+		}
+		keys = append(keys, ks...)
+		vals = append(vals, vs...)
+		// Resume strictly after the last key: its bytes plus a zero byte
+		// is the smallest key that sorts above it.
+		last := ks[len(ks)-1]
+		next = append(append(make([]byte, 0, len(last)+1), last...), 0)
+	}
+}
+
+// Stats fetches the server's STATS dump.
+func (c *Conn) Stats() (string, error) {
+	v, err := c.Do("STATS")
+	if err != nil {
+		return "", err
+	}
+	return string(v.Str), nil
+}
+
+// Ping round-trips a PING.
+func (c *Conn) Ping() error {
+	v, err := c.Do("PING")
+	if err != nil {
+		return err
+	}
+	if string(v.Str) != "PONG" {
+		return fmt.Errorf("client: unexpected PING reply %q", v.Str)
+	}
+	return nil
+}
+
+// FlushStore asks the server to flush memtables to disk (the FLUSH
+// command; named to avoid colliding with the pipeline Flush).
+func (c *Conn) FlushStore() error {
+	_, err := c.Do("FLUSH")
+	return err
+}
+
+// Quit sends QUIT and closes the connection.
+func (c *Conn) Quit() error {
+	_, err := c.Do("QUIT")
+	c.nc.Close()
+	return err
+}
+
+// emptyOK encodes a possibly-nil bound as an argument (the server reads
+// an empty argument as an unbounded side).
+func emptyOK(b []byte) []byte {
+	if b == nil {
+		return []byte{}
+	}
+	return b
+}
+
+// Pool is a fixed-target pool of connections to one server. Get returns
+// an idle connection or dials a new one; Put returns it (broken
+// connections are dropped and redialed on demand). Safe for concurrent
+// use.
+type Pool struct {
+	addr string
+	size int
+
+	mu     sync.Mutex
+	idle   []*Conn
+	closed bool
+}
+
+// NewPool returns a pool keeping up to size idle connections to addr.
+func NewPool(addr string, size int) *Pool {
+	if size < 1 {
+		size = 1
+	}
+	return &Pool{addr: addr, size: size}
+}
+
+// Get checks out a connection (dialing if no idle one is available).
+func (p *Pool) Get() (*Conn, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrPoolClosed
+	}
+	if n := len(p.idle); n > 0 {
+		c := p.idle[n-1]
+		p.idle = p.idle[:n-1]
+		p.mu.Unlock()
+		return c, nil
+	}
+	p.mu.Unlock()
+	return Dial(p.addr)
+}
+
+// Put returns a connection to the pool. Broken connections (failed I/O,
+// desynchronized pipeline) and overflow beyond the pool size are closed.
+func (p *Pool) Put(c *Conn) {
+	if c == nil {
+		return
+	}
+	if c.broken || c.inflight != 0 {
+		c.Close()
+		return
+	}
+	p.mu.Lock()
+	if p.closed || len(p.idle) >= p.size {
+		p.mu.Unlock()
+		c.Close()
+		return
+	}
+	p.idle = append(p.idle, c)
+	p.mu.Unlock()
+}
+
+// Close closes all idle connections; checked-out connections are closed
+// as they are Put back.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	idle := p.idle
+	p.idle = nil
+	p.closed = true
+	p.mu.Unlock()
+	for _, c := range idle {
+		c.Close()
+	}
+	return nil
+}
+
+// Do checks out a connection, runs one command, and returns it.
+func (p *Pool) Do(cmd string, args ...[]byte) (resp.Value, error) {
+	c, err := p.Get()
+	if err != nil {
+		return resp.Value{}, err
+	}
+	v, err := c.Do(cmd, args...)
+	p.Put(c)
+	return v, err
+}
+
+// Set stores value under key via a pooled connection.
+func (p *Pool) Set(key, value []byte) error {
+	_, err := p.Do("SET", key, value)
+	return err
+}
+
+// Get fetches key via a pooled connection.
+func (p *Pool) GetKey(key []byte) (value []byte, found bool, err error) {
+	v, err := p.Do("GET", key)
+	if err != nil {
+		return nil, false, err
+	}
+	if v.Null {
+		return nil, false, nil
+	}
+	return v.Str, true, nil
+}

@@ -1,0 +1,150 @@
+package client_test
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/lsm"
+	"repro/internal/server"
+	"repro/internal/shard"
+)
+
+func startServer(t *testing.T) string {
+	t.Helper()
+	opts := lsm.TriadOptions(nil)
+	opts.MemtableBytes = 256 << 10
+	db, err := shard.Open(shard.Options{Shards: 2, Engine: opts, NewFS: shard.MemFS()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(db, server.Config{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		if err := <-serveErr; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+		if err := db.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	})
+	return ln.Addr().String()
+}
+
+// TestPool: concurrent checkouts share a bounded idle set, broken
+// connections are dropped, and the convenience wrappers work.
+func TestPool(t *testing.T) {
+	addr := startServer(t)
+	p := client.NewPool(addr, 4)
+	defer p.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				key := []byte(fmt.Sprintf("pool-w%d-%d", w, i))
+				if err := p.Set(key, []byte("v")); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	v, found, err := p.GetKey([]byte("pool-w7-49"))
+	if err != nil || !found || string(v) != "v" {
+		t.Fatalf("GetKey = %q, %v, %v", v, found, err)
+	}
+	if _, found, err = p.GetKey([]byte("absent")); err != nil || found {
+		t.Fatalf("absent key: found=%v err=%v", found, err)
+	}
+
+	// A connection with outstanding replies must not re-enter the pool.
+	c, err := p.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Send("PING"); err != nil {
+		t.Fatal(err)
+	}
+	p.Put(c) // inflight != 0: dropped, not pooled
+	if _, err := p.Do("PING"); err != nil {
+		t.Fatal(err)
+	}
+
+	p.Close()
+	if _, err := p.Get(); err != client.ErrPoolClosed {
+		t.Fatalf("Get after Close: %v", err)
+	}
+}
+
+// TestDoRejectsMidPipeline: mixing Do into an unfinished pipeline is a
+// client-side error, not silent reply skew.
+func TestDoRejectsMidPipeline(t *testing.T) {
+	addr := startServer(t)
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Send("SET", []byte("a"), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Do("GET", []byte("a")); err == nil {
+		t.Fatal("Do mid-pipeline should fail")
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Receive(); err != nil {
+		t.Fatal(err)
+	}
+	// Pipeline settled: Do works again.
+	if _, err := c.Do("GET", []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServerErrorMapping: error replies surface as ServerError and the
+// connection remains usable.
+func TestServerErrorMapping(t *testing.T) {
+	addr := startServer(t)
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.Do("GET") // wrong arity
+	se, ok := err.(client.ServerError)
+	if !ok {
+		t.Fatalf("got %T %v, want ServerError", err, err)
+	}
+	if se.Error() == "" {
+		t.Fatal("empty error text")
+	}
+	if err := c.Ping(); err != nil {
+		t.Fatalf("connection broken after server error: %v", err)
+	}
+}

@@ -1,0 +1,183 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/histogram"
+	"repro/internal/server"
+	"repro/internal/shard"
+	"repro/internal/workload"
+)
+
+// netDepth is the per-connection pipeline depth of the net experiment:
+// deep enough that the server's group-commit window always has company,
+// shallow enough that per-op latency still means something.
+const netDepth = 16
+
+// NetThroughput is the network front-end experiment (not a paper
+// figure; the serving extension). It starts a real triadserver over an
+// in-memory sharded store, drives a 90% SET / 10% GET workload through
+// N pipelined client connections over loopback TCP, and compares group
+// commit (writes from all connections coalesced into shard-split
+// batches) against one-Apply-per-command, reporting kops/s and p50/p99
+// per-op latency for each connection count.
+//
+// The interesting column is the gain at high connection counts: one
+// Apply per SET makes every reader goroutine fight for the shard
+// mutexes and pay its own commit-log append, while the group committer
+// turns the same traffic into a few hundred-op batches.
+func NetThroughput(s Scale, w io.Writer) ([]Cell, error) {
+	shards := s.Shards
+	if shards < 2 {
+		shards = 4
+	}
+	connCounts := []int{1, 4, 8, 16}
+
+	var cells []Cell
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "Net throughput: RESP over loopback, 90%% SET / 10%% GET, pipeline depth %d, %d shards\n", netDepth, shards)
+	fmt.Fprintln(tw, "conns\tgroup KOPS\tp50\tp99\tper-op KOPS\tp50\tp99\tgain")
+	for _, conns := range connCounts {
+		on, err := runNet(s, shards, conns, false)
+		if err != nil {
+			return nil, fmt.Errorf("net c=%d gc=on: %w", conns, err)
+		}
+		off, err := runNet(s, shards, conns, true)
+		if err != nil {
+			return nil, fmt.Errorf("net c=%d gc=off: %w", conns, err)
+		}
+		cells = append(cells,
+			Cell{Label: fmt.Sprintf("net c=%d gc=on", conns), Res: on},
+			Cell{Label: fmt.Sprintf("net c=%d gc=off", conns), Res: off},
+		)
+		fmt.Fprintf(tw, "%d\t%.1f\t%s\t%s\t%.1f\t%s\t%s\t%.2fx\n",
+			conns, on.KOPS, on.P50, on.P99, off.KOPS, off.P50, off.P99, on.KOPS/off.KOPS)
+	}
+	return cells, tw.Flush()
+}
+
+// runNet measures one (connection count, commit mode) configuration.
+func runNet(s Scale, shards, conns int, gcOff bool) (Result, error) {
+	db, err := shard.Open(shard.Options{
+		Shards: shards,
+		Engine: shard.DivideBudgets(s.engine("triad"), shards),
+		NewFS:  shard.MemFS(),
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	defer db.Close()
+
+	mix := workload.Mix{Dist: s.ws3(), ReadFraction: 0.1}
+	if err := prepopulate(db, Spec{Mix: mix, PrepopulateFraction: 0.5, Seed: 1}); err != nil {
+		return Result{}, err
+	}
+	if err := db.Flush(); err != nil {
+		return Result{}, err
+	}
+	if err := db.CompactAll(); err != nil {
+		return Result{}, err
+	}
+
+	srv := server.New(db, server.Config{DisableGroupCommit: gcOff})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return Result{}, err
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		srv.Shutdown(ctx)
+		cancel()
+		<-serveErr
+	}()
+
+	perConn := s.Ops / int64(conns)
+	hists := make([]*histogram.H, conns)
+	errCh := make(chan error, conns)
+	var wg sync.WaitGroup
+	start := time.Now()
+	before := db.Metrics()
+	for i := 0; i < conns; i++ {
+		hists[i] = &histogram.H{}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := client.Dial(ln.Addr().String())
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer c.Close()
+			stream := mix.NewStream(1 + int64(i)*7919)
+			h := hists[i]
+			var sentAt [netDepth]time.Time
+			for done := int64(0); done < perConn; {
+				depth := int64(netDepth)
+				if left := perConn - done; left < depth {
+					depth = left
+				}
+				for j := int64(0); j < depth; j++ {
+					op := stream.Next()
+					sentAt[j] = time.Now()
+					if op.Read {
+						err = c.Send("GET", op.Key)
+					} else {
+						err = c.Send("SET", op.Key, op.Value)
+					}
+					if err != nil {
+						errCh <- err
+						return
+					}
+				}
+				if err := c.Flush(); err != nil {
+					errCh <- err
+					return
+				}
+				for j := int64(0); j < depth; j++ {
+					if _, err := c.Receive(); err != nil {
+						errCh <- err
+						return
+					}
+					h.Record(time.Since(sentAt[j]))
+				}
+				done += depth
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	snap := db.Metrics().Sub(before)
+	select {
+	case err := <-errCh:
+		return Result{}, err
+	default:
+	}
+
+	totalOps := perConn * int64(conns)
+	res := Result{
+		Name:    fmt.Sprintf("net c=%d", conns),
+		Threads: conns,
+		Ops:     totalOps,
+		Elapsed: elapsed,
+		KOPS:    float64(totalOps) / elapsed.Seconds() / 1000,
+		WA:      snap.WriteAmplification(),
+		RA:      snap.ReadAmplification(),
+		Snap:    snap,
+	}
+	for _, h := range hists {
+		res.Lat.Merge(h)
+	}
+	res.P50 = res.Lat.Quantile(0.50)
+	res.P99 = res.Lat.Quantile(0.99)
+	res.P999 = res.Lat.Quantile(0.999)
+	return res, nil
+}

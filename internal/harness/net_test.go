@@ -1,0 +1,53 @@
+package harness
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestNetThroughputSmall runs the net experiment at a tiny scale: the
+// table renders, every cell measured real ops, and latencies are sane.
+func TestNetThroughputSmall(t *testing.T) {
+	s := QuickScale()
+	s.Keys = 4_000
+	s.Ops = 6_000
+	var sb strings.Builder
+	cells, err := NetThroughput(s, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 8 { // 4 connection counts x {gc on, gc off}
+		t.Fatalf("got %d cells, want 8", len(cells))
+	}
+	for _, c := range cells {
+		if c.Res.KOPS <= 0 {
+			t.Errorf("%s: KOPS = %v", c.Label, c.Res.KOPS)
+		}
+		if c.Res.P99 <= 0 {
+			t.Errorf("%s: P99 = %v", c.Label, c.Res.P99)
+		}
+		if c.Res.Ops == 0 {
+			t.Errorf("%s: no ops measured", c.Label)
+		}
+	}
+	out := sb.String()
+	if !strings.Contains(out, "conns") || !strings.Contains(out, "gain") {
+		t.Fatalf("table missing headers:\n%s", out)
+	}
+}
+
+// TestNetThroughputWriterError: a broken output writer surfaces as an
+// error, not a panic.
+func TestNetThroughputWriterError(t *testing.T) {
+	s := QuickScale()
+	s.Keys = 1_000
+	s.Ops = 800
+	if _, err := NetThroughput(s, failWriter{}); err == nil {
+		t.Fatal("expected error from failing writer")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) { return 0, io.ErrClosedPipe }

@@ -1,0 +1,166 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/base"
+	"repro/internal/lsm"
+)
+
+// pending is one group of writes awaiting a shared Apply. Connections
+// hold a reference per enqueued command and wait on done; err carries
+// the Apply outcome to every waiter.
+type pending struct {
+	batch lsm.Batch
+	done  chan struct{}
+	err   error
+	start time.Time
+}
+
+// committer coalesces writes from every connection into shard-split
+// batches. One goroutine owns the Apply; batching is leader-based: by
+// default (CommitDelay 0) the loop commits the open group the moment it
+// is free, and the ops that arrive while an Apply is in flight simply
+// form the next group — under load the batches grow toward
+// CommitMaxOps/CommitMaxBytes with no latency added to a quiet server.
+// A positive CommitDelay instead holds each group open for a fixed
+// window from its first write (deliberately trading latency for larger
+// batches; note Go's netpoller rounds sub-millisecond sleeps up toward
+// a millisecond on an idle process, so tiny windows cost more than they
+// read). Applying from a single goroutine keeps batches strictly
+// ordered — two writes from one connection can never commit out of
+// order — while the shard layer fans each batch's sub-batches out to
+// the shards in parallel.
+type committer struct {
+	store Store
+	cfg   Config
+
+	mu     sync.Mutex
+	cur    *pending
+	closed bool
+
+	kick chan struct{} // a new group opened
+	full chan struct{} // the current group hit a size limit
+	quit chan struct{}
+	wg   sync.WaitGroup
+
+	batches atomic.Int64
+	ops     atomic.Int64
+}
+
+func newCommitter(store Store, cfg Config) *committer {
+	c := &committer{
+		store: store,
+		cfg:   cfg,
+		kick:  make(chan struct{}, 1),
+		full:  make(chan struct{}, 1),
+		quit:  make(chan struct{}),
+	}
+	c.wg.Add(1)
+	go c.loop()
+	return c
+}
+
+// enqueue adds entries to the open group (opening one if needed) and
+// returns the group to wait on. The entries must be caller-owned copies;
+// they are handed to the batch without further copying.
+func (c *committer) enqueue(entries []base.Entry) (*pending, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, errShuttingDown
+	}
+	if c.cur == nil {
+		c.cur = &pending{done: make(chan struct{}), start: time.Now()}
+		select {
+		case c.kick <- struct{}{}:
+		default:
+		}
+	}
+	pb := c.cur
+	for _, e := range entries {
+		pb.batch.PutEntry(e)
+	}
+	if pb.batch.Len() >= c.cfg.CommitMaxOps || pb.batch.Bytes() >= c.cfg.CommitMaxBytes {
+		select {
+		case c.full <- struct{}{}:
+		default:
+		}
+	}
+	c.mu.Unlock()
+	return pb, nil
+}
+
+func (c *committer) loop() {
+	defer c.wg.Done()
+	for {
+		select {
+		case <-c.quit:
+			c.commit()
+			return
+		case <-c.kick:
+		}
+		c.mu.Lock()
+		pb := c.cur
+		c.mu.Unlock()
+		if pb == nil {
+			// Stale kick: the group it announced was already committed
+			// by a size trigger.
+			continue
+		}
+		if wait := c.cfg.CommitDelay - time.Since(pb.start); c.cfg.CommitDelay > 0 && wait > 0 && !c.isFull(pb) {
+			t := time.NewTimer(wait)
+			select {
+			case <-t.C:
+			case <-c.full:
+				t.Stop()
+			case <-c.quit:
+				t.Stop()
+				c.commit()
+				return
+			}
+		}
+		c.commit()
+	}
+}
+
+func (c *committer) isFull(pb *pending) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return pb.batch.Len() >= c.cfg.CommitMaxOps || pb.batch.Bytes() >= c.cfg.CommitMaxBytes
+}
+
+// commit detaches the open group, applies it, and wakes the waiters. A
+// leftover full token from a group that was committed by the timer can
+// close the next window early; that costs one smaller batch, never
+// correctness.
+func (c *committer) commit() {
+	c.mu.Lock()
+	pb := c.cur
+	c.cur = nil
+	c.mu.Unlock()
+	if pb == nil {
+		return
+	}
+	pb.err = c.store.Apply(&pb.batch)
+	c.batches.Add(1)
+	c.ops.Add(int64(pb.batch.Len()))
+	close(pb.done)
+}
+
+// close stops accepting writes, commits any open group, and waits for
+// the loop to exit. Safe to call once; callers (Server.Shutdown) ensure
+// connections have drained first so no enqueue races the close.
+func (c *committer) close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	close(c.quit)
+	c.wg.Wait()
+}

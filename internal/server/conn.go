@@ -1,0 +1,339 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/base"
+	"repro/internal/lsm"
+	"repro/internal/resp"
+)
+
+// reply is one slot in a connection's in-order response queue. Either it
+// is ready (v), or it waits on a group commit (pb) and resolves to ok or
+// to the batch's error.
+type reply struct {
+	v  resp.Value
+	pb *pending
+	ok resp.Value
+}
+
+// conn is one client connection: a reader goroutine parses and executes
+// commands, a writer goroutine sends replies in request order. The
+// bounded replies channel is both the pipeline and the backpressure.
+type conn struct {
+	srv *Server
+	nc  net.Conn
+	r   *resp.Reader
+	w   *resp.Writer
+
+	replies chan reply
+	// lastWrite is the connection's most recent group-commit enqueue;
+	// reads wait on it so a connection observes its own writes.
+	lastWrite *pending
+	quit      bool        // QUIT received: stop reading after replying
+	draining  atomic.Bool // server shutdown: reader unblocked via read deadline
+}
+
+func newConn(s *Server, nc net.Conn) *conn {
+	return &conn{
+		srv:     s,
+		nc:      nc,
+		r:       resp.NewReader(nc),
+		w:       resp.NewWriter(nc),
+		replies: make(chan reply, s.cfg.MaxPipeline),
+	}
+}
+
+// beginDrain unblocks the reader (which may be parked in a blocking
+// Read) so a server shutdown can proceed; in-flight replies still drain.
+func (c *conn) beginDrain() {
+	c.draining.Store(true)
+	c.nc.SetReadDeadline(time.Now())
+}
+
+// serve runs the connection to completion: reader inline, writer in a
+// goroutine, joined by the replies queue.
+func (c *conn) serve() {
+	defer c.nc.Close()
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		c.writeLoop()
+	}()
+	c.readLoop()
+	close(c.replies)
+	<-writerDone
+}
+
+func (c *conn) writeLoop() {
+	for rep := range c.replies {
+		if rep.pb != nil {
+			<-rep.pb.done
+			if rep.pb.err != nil {
+				c.w.WriteError(fmtErr(rep.pb.err))
+			} else {
+				c.w.WriteValue(rep.ok)
+			}
+		} else {
+			c.w.WriteValue(rep.v)
+		}
+		// Flush when the pipeline is momentarily empty: one syscall per
+		// burst instead of one per reply.
+		if len(c.replies) == 0 {
+			if c.w.Flush() != nil {
+				// Client gone: closing the socket unblocks the reader;
+				// keep draining the queue so it never blocks either.
+				c.nc.Close()
+			}
+		}
+	}
+	c.w.Flush()
+}
+
+func (c *conn) readLoop() {
+	for !c.quit {
+		args, err := c.r.ReadCommand()
+		if err != nil {
+			var pe *resp.ProtocolError
+			switch {
+			case errors.As(err, &pe):
+				// Speak before hanging up, as redis does.
+				c.send(resp.Error("ERR protocol error: " + pe.Reason))
+			case errors.Is(err, io.EOF):
+			case errors.Is(err, os.ErrDeadlineExceeded) && c.draining.Load():
+				// Server shutdown, not a client fault.
+			default:
+				c.srv.cfg.Logf("server: conn %s: read: %v", c.nc.RemoteAddr(), err)
+			}
+			return
+		}
+		c.srv.commands.Add(1)
+		c.dispatch(args)
+	}
+}
+
+// send queues an already-resolved reply.
+func (c *conn) send(v resp.Value) { c.replies <- reply{v: v} }
+
+// dispatch executes one parsed command. Commands are case-insensitive.
+func (c *conn) dispatch(args [][]byte) {
+	switch cmd := asciiUpper(args[0]); cmd {
+	case "PING":
+		if len(args) > 1 {
+			c.send(resp.Bulk(args[1]))
+		} else {
+			c.send(resp.Simple("PONG"))
+		}
+	case "QUIT":
+		c.quit = true
+		c.send(resp.Simple("OK"))
+	case "GET":
+		if !c.wantArgs(args, 2, 2, "GET key") {
+			return
+		}
+		c.barrier()
+		c.send(c.get(args[1]))
+	case "MGET":
+		if !c.wantArgs(args, 2, -1, "MGET key [key ...]") {
+			return
+		}
+		c.barrier()
+		elems := make([]resp.Value, 0, len(args)-1)
+		for _, k := range args[1:] {
+			elems = append(elems, c.get(k))
+		}
+		c.send(resp.Array(elems...))
+	case "SET":
+		if !c.wantArgs(args, 3, 3, "SET key value") {
+			return
+		}
+		c.write(args[1:2], []base.Entry{{Key: args[1], Value: args[2], Kind: base.KindSet}}, resp.Simple("OK"))
+	case "DEL":
+		if !c.wantArgs(args, 2, -1, "DEL key [key ...]") {
+			return
+		}
+		entries := make([]base.Entry, 0, len(args)-1)
+		for _, k := range args[1:] {
+			entries = append(entries, base.Entry{Key: k, Kind: base.KindDelete})
+		}
+		// Replies with the number of tombstones written, not the redis
+		// "keys that existed" count — existence would cost a read per
+		// key on an LSM.
+		c.write(args[1:], entries, resp.Int(int64(len(entries))))
+	case "MSET":
+		if len(args) < 3 || len(args)%2 != 1 {
+			c.send(resp.Error("ERR wrong number of arguments: MSET key value [key value ...]"))
+			return
+		}
+		keys := make([][]byte, 0, (len(args)-1)/2)
+		entries := make([]base.Entry, 0, (len(args)-1)/2)
+		for i := 1; i < len(args); i += 2 {
+			keys = append(keys, args[i])
+			entries = append(entries, base.Entry{Key: args[i], Value: args[i+1], Kind: base.KindSet})
+		}
+		c.write(keys, entries, resp.Simple("OK"))
+	case "SCAN":
+		if !c.wantArgs(args, 1, 4, "SCAN [start [limit [count]]]") {
+			return
+		}
+		c.barrier()
+		c.scan(args[1:])
+	case "STATS":
+		if !c.wantArgs(args, 1, 1, "STATS") {
+			return
+		}
+		c.barrier()
+		c.send(resp.Bulk([]byte(c.srv.store.Stats())))
+	case "FLUSH":
+		if !c.wantArgs(args, 1, 1, "FLUSH") {
+			return
+		}
+		c.barrier()
+		if err := c.srv.store.Flush(); err != nil {
+			c.send(resp.Error(fmtErr(err)))
+			return
+		}
+		c.send(resp.Simple("OK"))
+	default:
+		c.send(resp.Error(fmt.Sprintf("ERR unknown command '%s'", sanitize(cmd))))
+	}
+}
+
+// wantArgs validates arity ([minA, maxA]; maxA < 0 means unbounded).
+func (c *conn) wantArgs(args [][]byte, minA, maxA int, usage string) bool {
+	if len(args) < minA || (maxA >= 0 && len(args) > maxA) {
+		c.send(resp.Error("ERR wrong number of arguments: " + usage))
+		return false
+	}
+	return true
+}
+
+// barrier waits for the connection's last enqueued write group so a
+// following read observes it (read-your-writes within a connection).
+func (c *conn) barrier() {
+	if c.lastWrite != nil {
+		<-c.lastWrite.done
+		c.lastWrite = nil
+	}
+}
+
+// get executes a point read and shapes the reply.
+func (c *conn) get(key []byte) resp.Value {
+	v, err := c.srv.store.Get(key)
+	switch {
+	case err == nil:
+		return resp.Bulk(v)
+	case errors.Is(err, lsm.ErrNotFound):
+		return resp.NullBulk()
+	default:
+		return resp.Error(fmtErr(err))
+	}
+}
+
+// write routes entries through the group committer (or applies them
+// directly when group commit is off). Keys are validated here, before
+// they can reach the shared batch: one connection's empty key must fail
+// that connection's command, not everybody's group.
+func (c *conn) write(keys [][]byte, entries []base.Entry, ok resp.Value) {
+	for _, k := range keys {
+		if len(k) == 0 {
+			c.send(resp.Error("ERR empty key"))
+			return
+		}
+	}
+	if c.srv.gc == nil {
+		var b lsm.Batch
+		for _, e := range entries {
+			b.PutEntry(e)
+		}
+		if err := c.srv.store.Apply(&b); err != nil {
+			c.send(resp.Error(fmtErr(err)))
+			return
+		}
+		c.send(ok)
+		return
+	}
+	pb, err := c.srv.gc.enqueue(entries)
+	if err != nil {
+		c.send(resp.Error(fmtErr(err)))
+		return
+	}
+	c.lastWrite = pb
+	c.replies <- reply{pb: pb, ok: ok}
+}
+
+// scan serves SCAN [start [limit [count]]]: a flat array of alternating
+// keys and values, at most count (≤ ScanMaxEntries) pairs. Clients page
+// by passing the last key plus a zero byte as the next start.
+func (c *conn) scan(args [][]byte) {
+	var start, limit []byte
+	if len(args) > 0 && len(args[0]) > 0 {
+		start = args[0]
+	}
+	if len(args) > 1 && len(args[1]) > 0 {
+		limit = args[1]
+	}
+	count := c.srv.cfg.ScanMaxEntries
+	if len(args) > 2 {
+		n, err := strconv.Atoi(string(args[2]))
+		if err != nil || n <= 0 {
+			c.send(resp.Error("ERR invalid SCAN count"))
+			return
+		}
+		if n < count {
+			count = n
+		}
+	}
+	it, err := c.srv.store.NewIterator(start, limit)
+	if err != nil {
+		c.send(resp.Error(fmtErr(err)))
+		return
+	}
+	elems := make([]resp.Value, 0, 64)
+	for len(elems) < 2*count && it.Next() {
+		// The iterator owns its buffers; copy before queueing.
+		k := append([]byte(nil), it.Key()...)
+		v := append([]byte(nil), it.Value()...)
+		elems = append(elems, resp.Bulk(k), resp.Bulk(v))
+	}
+	c.send(resp.Array(elems...))
+}
+
+// asciiUpper uppercases a command name without allocating for the common
+// already-upper case.
+func asciiUpper(b []byte) string {
+	for i := 0; i < len(b); i++ {
+		if b[i] >= 'a' && b[i] <= 'z' {
+			u := make([]byte, len(b))
+			for j := range b {
+				u[j] = b[j]
+				if u[j] >= 'a' && u[j] <= 'z' {
+					u[j] -= 'a' - 'A'
+				}
+			}
+			return string(u)
+		}
+	}
+	return string(b)
+}
+
+// sanitize keeps hostile command names printable inside error replies.
+func sanitize(s string) string {
+	out := []byte(s)
+	for i, c := range out {
+		if c < 0x20 || c > 0x7e {
+			out[i] = '?'
+		}
+	}
+	if len(out) > 64 {
+		out = out[:64]
+	}
+	return string(out)
+}

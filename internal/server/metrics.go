@@ -1,0 +1,73 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// MetricsHandler returns a plain-text, Prometheus-style dump of the
+// engine counters, derived amplifications, the per-shard balance table
+// and the server's own counters — so an operator sees WA/RA and shard
+// imbalance without attaching a RESP client. Serve it on a side
+// listener:
+//
+//	http.ListenAndServe(addr, s.MetricsHandler())
+//
+// GET /metrics (or /) returns the counter dump; GET /stats returns the
+// human-readable Stats() text.
+func (s *Server) MetricsHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, s.store.Stats())
+	})
+	dump := func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		fmt.Fprint(w, s.MetricsText())
+	}
+	mux.HandleFunc("/metrics", dump)
+	mux.HandleFunc("/", dump)
+	return mux
+}
+
+// MetricsText renders the metrics dump (the /metrics body).
+func (s *Server) MetricsText() string {
+	var b strings.Builder
+	m := s.store.Metrics()
+	line := func(name string, v any) { fmt.Fprintf(&b, "triad_%s %v\n", name, v) }
+
+	line("user_writes_total", m.UserWrites)
+	line("user_reads_total", m.UserReads)
+	line("user_bytes_total", m.UserBytes)
+	line("bytes_logged_total", m.BytesLogged)
+	line("bytes_flushed_total", m.BytesFlushed)
+	line("bytes_compacted_total", m.BytesCompacted)
+	line("flushes_total", m.Flushes)
+	line("flush_skips_total", m.FlushSkips)
+	line("compactions_total", m.Compactions)
+	line("compactions_deferred_total", m.CompactionsDeferred)
+	fmt.Fprintf(&b, "triad_write_amplification %.4f\n", m.WriteAmplification())
+	fmt.Fprintf(&b, "triad_read_amplification %.4f\n", m.ReadAmplification())
+
+	for _, st := range s.store.ShardStats() {
+		fmt.Fprintf(&b, "triad_shard_writes_total{shard=\"%d\"} %d\n", st.Shard, st.Writes)
+		fmt.Fprintf(&b, "triad_shard_reads_total{shard=\"%d\"} %d\n", st.Shard, st.Reads)
+		fmt.Fprintf(&b, "triad_shard_disk_bytes{shard=\"%d\"} %d\n", st.Shard, st.DiskBytes)
+		fmt.Fprintf(&b, "triad_shard_files{shard=\"%d\"} %d\n", st.Shard, st.Files)
+		fmt.Fprintf(&b, "triad_shard_write_amplification{shard=\"%d\"} %.4f\n", st.Shard, st.WA)
+		fmt.Fprintf(&b, "triad_shard_read_amplification{shard=\"%d\"} %.4f\n", st.Shard, st.RA)
+	}
+
+	open, total, commands := s.ConnStats()
+	line("server_connections_open", open)
+	line("server_connections_total", total)
+	line("server_commands_total", commands)
+	batches, ops := s.GroupCommitStats()
+	line("server_group_commit_batches_total", batches)
+	line("server_group_commit_ops_total", ops)
+	if batches > 0 {
+		fmt.Fprintf(&b, "triad_server_group_commit_mean_size %.2f\n", float64(ops)/float64(batches))
+	}
+	return b.String()
+}

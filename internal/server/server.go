@@ -1,0 +1,314 @@
+// Package server is TRIAD's network front end: a TCP server speaking a
+// RESP2-compatible protocol (GET/SET/DEL/MGET/MSET/SCAN/STATS/FLUSH/
+// PING/QUIT) over the sharded engine.
+//
+// Two mechanisms carry the load:
+//
+//   - Per-connection pipelining. Each connection gets a reader goroutine
+//     (parse, execute or enqueue) and a writer goroutine (encode replies
+//     in request order), joined by a bounded reply queue. A client may
+//     send hundreds of commands before reading the first reply; the
+//     server keeps parsing while earlier writes are still committing.
+//
+//   - Cross-connection group commit. Writes from all connections are
+//     coalesced into one shared batch that a committer goroutine applies
+//     through shard.DB.Apply when the batch fills up or a max-delay
+//     window expires — amortizing the commit-log append and the memtable
+//     mutex exactly where TRIAD says the write-path costs live, and
+//     letting the shard layer split every group across shards in
+//     parallel.
+//
+// Per-connection ordering is preserved: replies are sent in request
+// order, and a read observes every earlier write of its own connection
+// (the reader waits for the connection's last enqueued batch before
+// serving GET/MGET/SCAN — reads of other connections' in-flight writes
+// are not ordered, exactly as with any concurrent store).
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/lsm"
+	"repro/internal/metrics"
+	"repro/internal/shard"
+)
+
+// Store is the engine surface the server fronts. *shard.DB implements it
+// (open the store with shard.Open, Shards >= 1); the shard layer is used
+// even for one shard so STATS always carries the per-shard table and the
+// STORE metadata validation.
+type Store interface {
+	Get(key []byte) ([]byte, error)
+	Apply(b *lsm.Batch) error
+	Flush() error
+	Stats() string
+	Metrics() metrics.Snapshot
+	ShardStats() []shard.ShardStat
+	NewIterator(start, limit []byte) (shard.Iter, error)
+}
+
+var _ Store = (*shard.DB)(nil)
+
+// Config tunes the server. The zero value is production-shaped: group
+// commit on with no artificial delay (leader-based batching), 4096-op /
+// 1 MiB batches, pipeline depth 1024.
+type Config struct {
+	// DisableGroupCommit applies every write in its own Apply call on
+	// the connection's reader goroutine (the one-Apply-per-connection
+	// mode the net benchmark compares against).
+	DisableGroupCommit bool
+	// CommitDelay holds each write group open for a window from its
+	// first write before committing, trading latency for batch size.
+	// Default 0: commit as soon as the committer goroutine is free —
+	// writes arriving during the previous Apply form the next batch, so
+	// batching scales with load and a quiet server pays no extra
+	// latency.
+	CommitDelay time.Duration
+	// CommitMaxOps commits the pending group when it reaches this many
+	// operations. Default 4096.
+	CommitMaxOps int
+	// CommitMaxBytes commits the pending group when it reaches this many
+	// payload bytes. Default 1 MiB.
+	CommitMaxBytes int64
+	// MaxPipeline bounds a connection's outstanding replies; a client
+	// that pipelines deeper blocks until replies drain (backpressure).
+	// Default 1024.
+	MaxPipeline int
+	// ScanMaxEntries caps one SCAN reply; clients page with the last key
+	// as the next start. Default 4096.
+	ScanMaxEntries int
+	// Logf, when set, receives connection-level diagnostics (protocol
+	// errors, accept failures). Default: discard.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.CommitDelay < 0 {
+		c.CommitDelay = 0
+	}
+	if c.CommitMaxOps <= 0 {
+		c.CommitMaxOps = 4096
+	}
+	if c.CommitMaxBytes <= 0 {
+		c.CommitMaxBytes = 1 << 20
+	}
+	if c.MaxPipeline <= 0 {
+		c.MaxPipeline = 1024
+	}
+	if c.ScanMaxEntries <= 0 {
+		c.ScanMaxEntries = 4096
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Server serves the RESP front end over one Store. Create with New,
+// start with Serve or ListenAndServe, stop with Shutdown (graceful) or
+// Close (abrupt). The Store's lifecycle belongs to the caller: Shutdown
+// drains the server but does not close the engine.
+type Server struct {
+	store Store
+	cfg   Config
+	gc    *committer // nil when group commit is disabled
+
+	mu      sync.Mutex
+	ln      net.Listener
+	conns   map[*conn]struct{}
+	closing bool
+	drained chan struct{} // closed when the first Shutdown finishes
+	wg      sync.WaitGroup
+
+	// Counters for the metrics dump.
+	totalConns atomic.Int64
+	commands   atomic.Int64
+}
+
+// New returns a Server over store.
+func New(store Store, cfg Config) *Server {
+	s := &Server{
+		store:   store,
+		cfg:     cfg.withDefaults(),
+		conns:   make(map[*conn]struct{}),
+		drained: make(chan struct{}),
+	}
+	if !s.cfg.DisableGroupCommit {
+		s.gc = newCommitter(store, s.cfg)
+	}
+	return s
+}
+
+// ListenAndServe listens on addr (e.g. ":6379", "127.0.0.1:0") and
+// serves until Shutdown or Close.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until Shutdown or Close. It returns
+// nil after a clean shutdown, or the accept error otherwise.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closing {
+		// Shutdown won the race (it can run before Serve registers the
+		// listener, e.g. a signal at startup); that is a clean stop,
+		// not an error.
+		s.mu.Unlock()
+		ln.Close()
+		return nil
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	var acceptBackoff time.Duration
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closing := s.closing
+			s.mu.Unlock()
+			if closing {
+				return nil
+			}
+			// Transient accept failures (ECONNABORTED, fd exhaustion)
+			// must not kill the server; back off and retry, as net/http
+			// does.
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Temporary() {
+				if acceptBackoff == 0 {
+					acceptBackoff = 5 * time.Millisecond
+				} else if acceptBackoff *= 2; acceptBackoff > time.Second {
+					acceptBackoff = time.Second
+				}
+				s.cfg.Logf("server: accept: %v; retrying in %v", err, acceptBackoff)
+				time.Sleep(acceptBackoff)
+				continue
+			}
+			return err
+		}
+		acceptBackoff = 0
+		s.mu.Lock()
+		if s.closing {
+			s.mu.Unlock()
+			nc.Close()
+			return nil
+		}
+		c := newConn(s, nc)
+		s.conns[c] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		s.totalConns.Add(1)
+		go func() {
+			defer s.wg.Done()
+			c.serve()
+			s.mu.Lock()
+			delete(s.conns, c)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// Addr reports the bound listener address (useful with ":0").
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Shutdown gracefully drains the server: stop accepting, unblock every
+// connection's reader, let in-flight pipelines finish (their group
+// commits included), then stop the committer. Writes that were accepted
+// before Shutdown are committed; commands arriving after it get an error
+// reply. The ctx bounds the drain; on expiry remaining connections are
+// closed abruptly and ctx.Err() is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closing {
+		// A drain is already in flight; wait for it so every Shutdown
+		// caller can safely close the store afterwards.
+		s.mu.Unlock()
+		select {
+		case <-s.drained:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	s.closing = true
+	ln := s.ln
+	for c := range s.conns {
+		c.beginDrain()
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.mu.Lock()
+		for c := range s.conns {
+			c.nc.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		err = ctx.Err()
+	}
+	if s.gc != nil {
+		s.gc.close()
+	}
+	close(s.drained)
+	return err
+}
+
+// Close shuts down without a drain deadline beyond a short default.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return s.Shutdown(ctx)
+}
+
+// GroupCommitStats reports how many Apply batches the committer issued
+// and how many write operations they carried; ops/batches is the
+// realized group size. Zeros when group commit is disabled.
+func (s *Server) GroupCommitStats() (batches, ops int64) {
+	if s.gc == nil {
+		return 0, 0
+	}
+	return s.gc.batches.Load(), s.gc.ops.Load()
+}
+
+// ConnStats reports current and lifetime connection counts and the
+// number of commands served.
+func (s *Server) ConnStats() (open int, total, commands int64) {
+	s.mu.Lock()
+	open = len(s.conns)
+	s.mu.Unlock()
+	return open, s.totalConns.Load(), s.commands.Load()
+}
+
+// errShuttingDown is the reply given to writes that race a shutdown.
+var errShuttingDown = errors.New("server shutting down")
+
+func fmtErr(err error) string {
+	return fmt.Sprintf("ERR %v", err)
+}
