@@ -19,6 +19,7 @@ import (
 	"io"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/harness"
 	"repro/internal/lsm"
@@ -472,6 +473,9 @@ func BenchmarkRangeScanSharded(b *testing.B) {
 				for it.Next() {
 					entries++
 				}
+				if err := it.Close(); err != nil {
+					b.Fatal(err)
+				}
 			}
 			b.StopTimer()
 			if entries == 0 {
@@ -625,3 +629,109 @@ func runCustom(b *testing.B, s harness.Scale, dist workload.KeyDist, readFrac fl
 }
 
 func contains(s, sub string) bool { return strings.Contains(s, sub) }
+
+// BenchmarkSnapshotScan measures what the streaming snapshot iterator
+// bought: reading the first 10 entries of a 100k-key store. The
+// "streaming" case is the real iterator; "materialized" reproduces the
+// pre-snapshot iterator's algorithm (clone every entry in range at
+// creation, then read) as the baseline. Reported per op: allocations
+// (the acceptance criterion — streaming must be >= 10x lower) and
+// first-entry latency in ns.
+func BenchmarkSnapshotScan(b *testing.B) {
+	const keys = 100_000
+	openStore := func(b *testing.B) *DB {
+		db, err := Open(Options{FS: vfs.NewMemFS(), Profile: ProfileTriad, MemtableBytes: 1 << 20})
+		if err != nil {
+			b.Fatal(err)
+		}
+		val := []byte("0123456789abcdef0123456789abcdef")
+		for i := 0; i < keys; i++ {
+			if err := db.Put([]byte(fmt.Sprintf("key-%08d", i)), val); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := db.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		return db
+	}
+	b.Run("streaming-first10", func(b *testing.B) {
+		db := openStore(b)
+		defer db.Close()
+		var firstEntryNS int64
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			start := time.Now()
+			it, err := db.NewIterator(nil, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !it.Next() {
+				b.Fatal("empty scan")
+			}
+			firstEntryNS += time.Since(start).Nanoseconds()
+			for i := 0; i < 9; i++ {
+				if !it.Next() {
+					b.Fatal("iterator exhausted early")
+				}
+			}
+			if err := it.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(firstEntryNS)/float64(b.N), "first-entry-ns")
+	})
+	b.Run("materialized-first10", func(b *testing.B) {
+		db := openStore(b)
+		defer db.Close()
+		var firstEntryNS int64
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			start := time.Now()
+			// The old iterator: copy the whole range up front.
+			it, err := db.NewIterator(nil, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var ks, vs [][]byte
+			for it.Next() {
+				ks = append(ks, append([]byte(nil), it.Key()...))
+				vs = append(vs, append([]byte(nil), it.Value()...))
+			}
+			if err := it.Close(); err != nil {
+				b.Fatal(err)
+			}
+			mat := &sliceIter{keys: ks, vals: vs}
+			if !mat.Next() {
+				b.Fatal("empty scan")
+			}
+			firstEntryNS += time.Since(start).Nanoseconds()
+			for i := 0; i < 9; i++ {
+				if !mat.Next() {
+					b.Fatal("iterator exhausted early")
+				}
+			}
+		}
+		b.ReportMetric(float64(firstEntryNS)/float64(b.N), "first-entry-ns")
+	})
+}
+
+// sliceIter replays materialized entries through the Iterator surface.
+type sliceIter struct {
+	keys, vals [][]byte
+	pos        int
+}
+
+func (s *sliceIter) Next() bool {
+	if s.pos >= len(s.keys) {
+		return false
+	}
+	s.pos++
+	return true
+}
+func (s *sliceIter) Key() []byte   { return s.keys[s.pos-1] }
+func (s *sliceIter) Value() []byte { return s.vals[s.pos-1] }
+func (s *sliceIter) Err() error    { return nil }
+func (s *sliceIter) Close() error  { return nil }

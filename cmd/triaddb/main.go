@@ -107,6 +107,7 @@ func main() {
 		for it.Next() {
 			fmt.Printf("%s = %s\n", it.Key(), it.Value())
 		}
+		fatalIf(it.Close())
 	case "stats":
 		m := db.Metrics()
 		fmt.Printf("level files: %v\n", db.NumLevelFiles())

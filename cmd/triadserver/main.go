@@ -66,6 +66,8 @@ func run(args []string, stdout, stderr io.Writer, ready func(addr string)) int {
 		commitOps   = fs.Int("commit-ops", 4096, "commit the pending group at this many operations")
 		commitBytes = fs.Int64("commit-bytes", 1<<20, "commit the pending group at this many payload bytes")
 		metricsAddr = fs.String("metrics", "", "HTTP listen address for the plain-text /metrics and /stats dump (empty: disabled)")
+		cursorTTL   = fs.Duration("cursor-ttl", 60*time.Second, "close idle SCAN cursors (and release their pinned snapshots) after this long")
+		maxCursors  = fs.Int("max-cursors", 16, "cap on open SCAN cursors per connection")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -82,6 +84,8 @@ func run(args []string, stdout, stderr io.Writer, ready func(addr string)) int {
 		CommitDelay:        *commitDelay,
 		CommitMaxOps:       *commitOps,
 		CommitMaxBytes:     *commitBytes,
+		CursorTTL:          *cursorTTL,
+		MaxCursorsPerConn:  *maxCursors,
 		Logf: func(format string, a ...any) {
 			fmt.Fprintf(stderr, format+"\n", a...)
 		},

@@ -89,6 +89,33 @@ func TestServerSmoke(t *testing.T) {
 		t.Fatalf("STATS: %v\n%s", err, stats)
 	}
 
+	// A paged SCAN / SCAN CONT / SCAN CLOSE round trip: open a cursor
+	// with a small page, resume it once, then release it early.
+	cursor, keys, _, err := c.ScanOpen([]byte("smoke-"), []byte("smoke-z"), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cursor == client.DoneCursor || len(keys) != 50 {
+		t.Fatalf("SCAN first page: cursor=%q, %d keys", cursor, len(keys))
+	}
+	cursor2, keys2, _, err := c.ScanCont(cursor, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cursor2 != cursor || len(keys2) != 50 || string(keys2[0]) != "smoke-0050" {
+		t.Fatalf("SCAN CONT: cursor=%q, %d keys, first %q", cursor2, len(keys2), keys2[0])
+	}
+	if err := c.ScanClose(cursor); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := c.ScanCont(cursor, 50); err == nil {
+		t.Fatal("SCAN CONT after CLOSE succeeded")
+	}
+	// Paging through everything still works end to end.
+	if ks, _, err := c.ScanAll([]byte("smoke-"), []byte("smoke-z")); err != nil || len(ks) != n {
+		t.Fatalf("ScanAll: %d keys, %v", len(ks), err)
+	}
+
 	// Deliver a real SIGTERM to the process; run()'s handler must drain
 	// and exit 0.
 	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {

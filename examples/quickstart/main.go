@@ -49,6 +49,9 @@ func main() {
 	for it.Next() {
 		fmt.Printf("  %s = %s\n", it.Key(), it.Value())
 	}
+	if err := it.Close(); err != nil {
+		log.Fatal(err)
+	}
 
 	// Force the memtable down to L0 and look at the tree.
 	if err := db.Flush(); err != nil {

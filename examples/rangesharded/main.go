@@ -62,6 +62,9 @@ func main() {
 	for it.Next() {
 		fmt.Printf("  %s\n", it.Key())
 	}
+	if err := it.Close(); err != nil {
+		log.Fatal(err)
+	}
 
 	// A cross-tenant scan spanning the n and t splits: shard 1 (initech's
 	// tail), shard 2 (the empty n–s slice) and shard 3 (umbrella's head)
@@ -73,6 +76,9 @@ func main() {
 	fmt.Println("across the n and t splits (concatenated scan):")
 	for it.Next() {
 		fmt.Printf("  %s\n", it.Key())
+	}
+	if err := it.Close(); err != nil {
+		log.Fatal(err)
 	}
 
 	// The per-shard balance table shows the range layout: acme on s0,

@@ -70,6 +70,9 @@ func main() {
 	for it.Next() {
 		fmt.Printf("  %s = %s\n", it.Key(), it.Value())
 	}
+	if err := it.Close(); err != nil {
+		log.Fatal(err)
+	}
 
 	// Metrics aggregate across shards; 8 writers x 2500 + 100 batch ops.
 	m := db.Metrics()

@@ -180,50 +180,109 @@ func (c *Conn) MSet(pairs ...[]byte) error {
 	return err
 }
 
-// Scan returns up to count key/value pairs of [start, limit) in key
-// order (count <= 0 uses the server's cap). The server may return fewer
-// than count; use ScanAll to page through a whole range.
-func (c *Conn) Scan(start, limit []byte, count int) (keys, vals [][]byte, err error) {
+// DoneCursor is the cursor id the server returns when a scan is
+// exhausted (no server-side state remains).
+const DoneCursor = "0"
+
+// parseScanReply splits a SCAN/SCAN CONT reply [cursor, k1, v1, ...].
+func (c *Conn) parseScanReply(v resp.Value) (cursor string, keys, vals [][]byte, err error) {
+	if len(v.Elems) == 0 || len(v.Elems)%2 != 1 {
+		c.broken = true
+		return "", nil, nil, errors.New("client: malformed SCAN reply")
+	}
+	cursor = string(v.Elems[0].Str)
+	for i := 1; i+1 < len(v.Elems); i += 2 {
+		keys = append(keys, v.Elems[i].Str)
+		vals = append(vals, v.Elems[i+1].Str)
+	}
+	return cursor, keys, vals, nil
+}
+
+// ScanOpen starts a server-side scan of [start, limit) and returns the
+// first page (up to count pairs; count <= 0 uses the server's page cap)
+// plus the cursor to resume from. A cursor of DoneCursor means the scan
+// is complete; any other cursor identifies a snapshot the server keeps
+// pinned — page through it with ScanCont and release it with ScanClose
+// (or let the server's idle TTL reap it). All pages of one cursor read
+// the same frozen snapshot, so paging is repeatable under concurrent
+// writes.
+func (c *Conn) ScanOpen(start, limit []byte, count int) (cursor string, keys, vals [][]byte, err error) {
 	args := [][]byte{emptyOK(start), emptyOK(limit)}
 	if count > 0 {
 		args = append(args, []byte(fmt.Sprint(count)))
 	}
 	v, err := c.Do("SCAN", args...)
 	if err != nil {
+		return "", nil, nil, err
+	}
+	return c.parseScanReply(v)
+}
+
+// ScanCont fetches the next page of an open cursor. The returned cursor
+// is DoneCursor once the scan is exhausted (the server has already
+// released it).
+func (c *Conn) ScanCont(cursor string, count int) (next string, keys, vals [][]byte, err error) {
+	args := [][]byte{[]byte("CONT"), []byte(cursor)}
+	if count > 0 {
+		args = append(args, []byte(fmt.Sprint(count)))
+	}
+	v, err := c.Do("SCAN", args...)
+	if err != nil {
+		return "", nil, nil, err
+	}
+	return c.parseScanReply(v)
+}
+
+// ScanClose releases an open cursor and its pinned snapshot.
+func (c *Conn) ScanClose(cursor string) error {
+	_, err := c.Do("SCAN", []byte("CLOSE"), []byte(cursor))
+	return err
+}
+
+// Scan returns up to count key/value pairs of [start, limit) in key
+// order (count <= 0 uses the server's cap), closing the server-side
+// cursor if the page did not exhaust the range. Use ScanAll to page
+// through a whole range on one pinned snapshot.
+func (c *Conn) Scan(start, limit []byte, count int) (keys, vals [][]byte, err error) {
+	cursor, keys, vals, err := c.ScanOpen(start, limit, count)
+	if err != nil {
 		return nil, nil, err
 	}
-	if len(v.Elems)%2 != 0 {
-		c.broken = true
-		return nil, nil, errors.New("client: odd SCAN reply")
-	}
-	for i := 0; i+1 < len(v.Elems); i += 2 {
-		keys = append(keys, v.Elems[i].Str)
-		vals = append(vals, v.Elems[i+1].Str)
+	if cursor != DoneCursor {
+		// Best effort: the page is already in hand, and a close failure
+		// usually means the server reaped the cursor first — the state
+		// Scan wanted anyway. A transport error will surface on the
+		// connection's next use.
+		_ = c.ScanClose(cursor)
 	}
 	return keys, vals, nil
 }
 
-// ScanAll pages through [start, limit) until exhaustion. Termination is
-// on an empty page, not a short one: the server caps every reply at its
-// own ScanMaxEntries, which may be smaller than our page size.
+// ScanAll pages through [start, limit) until exhaustion. The whole scan
+// reads one pinned server-side snapshot, so the result is a consistent
+// point-in-time view even while writes land concurrently; termination
+// is the server's DoneCursor, which also means nothing is left to
+// clean up.
 func (c *Conn) ScanAll(start, limit []byte) (keys, vals [][]byte, err error) {
 	const page = 1024
-	next := start
-	for {
-		ks, vs, err := c.Scan(next, limit, page)
+	cursor, keys, vals, err := c.ScanOpen(start, limit, page)
+	if err != nil {
+		return nil, nil, err
+	}
+	for cursor != DoneCursor {
+		next, ks, vs, err := c.ScanCont(cursor, page)
 		if err != nil {
+			// Best-effort release so a failed scan does not pin the
+			// server-side snapshot until the TTL, nor burn the
+			// connection's cursor budget.
+			_ = c.ScanClose(cursor)
 			return nil, nil, err
 		}
-		if len(ks) == 0 {
-			return keys, vals, nil
-		}
+		cursor = next
 		keys = append(keys, ks...)
 		vals = append(vals, vs...)
-		// Resume strictly after the last key: its bytes plus a zero byte
-		// is the smallest key that sorts above it.
-		last := ks[len(ks)-1]
-		next = append(append(make([]byte, 0, len(last)+1), last...), 0)
 	}
+	return keys, vals, nil
 }
 
 // Stats fetches the server's STATS dump.

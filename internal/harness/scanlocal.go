@@ -101,6 +101,10 @@ func ScanLocality(s Scale, shards int, w io.Writer) ([]Cell, error) {
 			for it.Next() {
 				entries++
 			}
+			if err := it.Close(); err != nil {
+				db.Close()
+				return nil, fmt.Errorf("%s: scan close: %w", mode, err)
+			}
 		}
 		elapsed := time.Since(start)
 		if err := db.Close(); err != nil {

@@ -104,6 +104,7 @@ func (db *DB) Apply(b *Batch) error {
 			return err
 		}
 		db.met.BytesLogged.Add(int64(n))
+		db.preserveLocked(e.Key)
 		db.mem.Set(e.Key, e.Value, rec.Seq, e.Kind, db.log.ID(), off)
 		db.met.UserWrites.Add(1)
 		db.met.UserBytes.Add(rec.Size())

@@ -261,13 +261,22 @@ func (db *DB) installCompaction(consumed []*manifest.FileMeta, outputs []manifes
 	}
 	db.version = nv
 	var closeErr error
+	// A consumed file a snapshot still pins becomes a zombie: it leaves
+	// the version but keeps its open table and on-disk bytes until the
+	// last pinning snapshot closes. Unpinned files go immediately.
+	var free []*manifest.FileMeta
 	for _, f := range consumed {
+		if db.refs[f.ID] > 0 {
+			db.zombies[f.ID] = f
+			continue
+		}
 		if t, ok := db.tables[f.ID]; ok {
 			if err := t.Close(); err != nil && closeErr == nil {
 				closeErr = err
 			}
 			delete(db.tables, f.ID)
 		}
+		free = append(free, f)
 	}
 	for id, t := range newTables {
 		db.tables[id] = t
@@ -281,25 +290,29 @@ func (db *DB) installCompaction(consumed []*manifest.FileMeta, outputs []manifes
 	if closeErr != nil {
 		return closeErr
 	}
-	for _, f := range consumed {
+	for _, f := range free {
 		db.cache.EvictTable(f.ID)
 	}
-	for _, f := range consumed {
-		switch f.Kind {
-		case manifest.KindCLSST:
-			if err := db.fs.Remove(sstable.CLIndexFileName(f.ID)); err != nil {
-				return err
-			}
-			if err := db.fs.Remove(wal.FileName(f.LogID)); err != nil {
-				return err
-			}
-		default:
-			if err := db.fs.Remove(sstable.FileName(f.ID)); err != nil {
-				return err
-			}
+	for _, f := range free {
+		if err := db.removeTableFiles(f); err != nil {
+			return err
 		}
 	}
 	return nil
+}
+
+// removeTableFiles deletes a table's on-disk files (for CL-SSTables: the
+// index and the commit log it pins).
+func (db *DB) removeTableFiles(f *manifest.FileMeta) error {
+	switch f.Kind {
+	case manifest.KindCLSST:
+		if err := db.fs.Remove(sstable.CLIndexFileName(f.ID)); err != nil {
+			return err
+		}
+		return db.fs.Remove(wal.FileName(f.LogID))
+	default:
+		return db.fs.Remove(sstable.FileName(f.ID))
+	}
 }
 
 func closeAll(its []sstable.Iterator) {

@@ -82,6 +82,21 @@ type DB struct {
 	// l0Count caches len(version.Levels[0]) for the write-stall check
 	// without taking versionMu on the write path.
 	l0Count atomic.Int32
+
+	// Snapshot state. snaps and maxPinned are guarded by mu (the write
+	// path consults maxPinned while already holding it); refs and
+	// zombies are guarded by versionMu alongside the version and table
+	// map they qualify; the overlay carries its own lock.
+	snaps     map[*snapPin]struct{}
+	maxPinned uint64 // highest pinned seq among active snapshots; 0 = none
+	overlay   overlay
+	snapLeaks atomic.Int64
+
+	// refs counts snapshot pins per table file; zombies holds files a
+	// compaction consumed while still pinned — closed and deleted when
+	// the last pin drops.
+	refs    map[uint64]int
+	zombies map[uint64]*manifest.FileMeta
 }
 
 // Open opens (creating or recovering) a DB in opts.FS.
@@ -91,11 +106,14 @@ func Open(opts Options) (*DB, error) {
 	}
 	opts.withDefaults()
 	db := &DB{
-		opts:   opts,
-		fs:     opts.FS,
-		picker: compaction.NewPicker(opts.pickerOptions()),
-		tables: make(map[uint64]sstable.Table),
-		cache:  sstable.NewBlockCache(opts.BlockCacheBytes),
+		opts:    opts,
+		fs:      opts.FS,
+		picker:  compaction.NewPicker(opts.pickerOptions()),
+		tables:  make(map[uint64]sstable.Table),
+		cache:   sstable.NewBlockCache(opts.BlockCacheBytes),
+		snaps:   make(map[*snapPin]struct{}),
+		refs:    make(map[uint64]int),
+		zombies: make(map[uint64]*manifest.FileMeta),
 	}
 	db.cond = sync.NewCond(&db.mu)
 	if err := db.recover(); err != nil {
@@ -272,10 +290,41 @@ func (db *DB) write(key, value []byte, kind base.Kind) error {
 		return err
 	}
 	db.met.BytesLogged.Add(int64(n))
+	db.preserveLocked(k)
 	db.mem.Set(k, v, e.Seq, kind, db.log.ID(), off)
 	db.met.UserWrites.Add(1)
 	db.met.UserBytes.Add(e.Size())
 	return db.maybeRotateLocked()
+}
+
+// preserveLocked copies the live memtable's current version of key into
+// the snapshot overlay before an in-place overwrite destroys it, when an
+// active snapshot could still read it (its pinned sequence is at or
+// above the version's). Must run before the corresponding mem.Set so a
+// concurrent snapshot read that observes the new version always finds
+// the preserved one. Caller holds db.mu.
+func (db *DB) preserveLocked(key []byte) {
+	if db.maxPinned == 0 {
+		return
+	}
+	if old, ok := db.mem.Get(key); ok && old.Seq <= db.maxPinned {
+		db.overlay.preserve(old.Base())
+	}
+}
+
+// WaitWritable blocks until the engine would accept a write without
+// stalling (or it closes / hits a background error). The sharded
+// engine calls it before entering its cross-shard apply barrier, so a
+// stalled shard absorbs its backpressure outside the barrier instead
+// of holding it — and thereby every other shard's batches — for the
+// length of a compaction.
+func (db *DB) WaitWritable() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.bgErr != nil {
+		return db.bgErr
+	}
+	return db.stallLocked()
 }
 
 // stallLocked applies write backpressure: writers wait while the flush
@@ -368,55 +417,7 @@ func (db *DB) Get(key []byte) ([]byte, error) {
 		}
 	}
 
-	db.versionMu.RLock()
-	defer db.versionMu.RUnlock()
-	v := db.version
-	if db.opts.SizeTieredCompaction {
-		// Size-tiered files in L0 are not in strict freshness order (a
-		// merged table has a new file ID but old contents), so resolve
-		// by sequence number across every overlapping file.
-		var best base.Entry
-		var bestFound bool
-		for _, f := range v.Levels[0] {
-			e, found, reads, err := db.tables[f.ID].Get(key)
-			db.met.TableDiskReads.Add(int64(reads))
-			if err != nil {
-				return nil, err
-			}
-			if found && (!bestFound || e.Seq > best.Seq) {
-				best, bestFound = e, true
-			}
-		}
-		if bestFound {
-			return entryValue(best)
-		}
-		return nil, ErrNotFound
-	}
-	// L0: newest to oldest, all files (overlapping ranges).
-	for _, f := range v.Levels[0] {
-		e, found, reads, err := db.tables[f.ID].Get(key)
-		db.met.TableDiskReads.Add(int64(reads))
-		if err != nil {
-			return nil, err
-		}
-		if found {
-			return entryValue(e)
-		}
-	}
-	// Deeper levels: at most one file each.
-	for l := 1; l < manifest.NumLevels; l++ {
-		for _, f := range v.Overlapping(l, key, key) {
-			e, found, reads, err := db.tables[f.ID].Get(key)
-			db.met.TableDiskReads.Add(int64(reads))
-			if err != nil {
-				return nil, err
-			}
-			if found {
-				return entryValue(e)
-			}
-		}
-	}
-	return nil, ErrNotFound
+	return db.getFromVersion(nil, key)
 }
 
 func entryValue(e base.Entry) ([]byte, error) {
@@ -503,6 +504,17 @@ func (db *DB) Close() error {
 	}
 	db.mu.Unlock()
 
+	// Live snapshots cannot be read once the tables close; unregister
+	// them so their eventual Close/finalizer is a no-op, and reclaim the
+	// files only they were pinning.
+	db.mu.Lock()
+	for s := range db.snaps {
+		delete(db.snaps, s)
+	}
+	db.maxPinned = 0
+	db.mu.Unlock()
+	db.overlay.gc(0)
+
 	db.versionMu.Lock()
 	for _, t := range db.tables {
 		if e := t.Close(); err == nil {
@@ -510,7 +522,14 @@ func (db *DB) Close() error {
 		}
 	}
 	db.tables = nil
+	zombies := db.zombies
+	db.zombies = map[uint64]*manifest.FileMeta{}
 	db.versionMu.Unlock()
+	for _, f := range zombies {
+		if e := db.removeTableFiles(f); err == nil {
+			err = e
+		}
+	}
 
 	if e := db.manifest.Close(); err == nil {
 		err = e

@@ -125,7 +125,8 @@ func (db *DB) flushImmutable(imm *immutable) error {
 				}
 			}
 			for _, h := range sep.Hot {
-				if cur, ok := mem.Get(h.Key); ok && cur.Seq >= h.Seq {
+				cur, curOK := mem.Get(h.Key)
+				if curOK && cur.Seq >= h.Seq {
 					continue // superseded while the flush was queued
 				}
 				superseded := false
@@ -144,6 +145,11 @@ func (db *DB) flushImmutable(imm *immutable) error {
 					return err
 				}
 				db.met.BytesLogged.Add(int64(n))
+				// The write-back overwrites the live memtable's version
+				// in place; keep it for any snapshot that pinned it.
+				if curOK && db.maxPinned != 0 && cur.Seq <= db.maxPinned {
+					db.overlay.preserve(cur.Base())
+				}
 				mem.Set(h.Key, h.Value, h.Seq, h.Kind, log.ID(), off)
 			}
 			db.mu.Unlock()

@@ -5,144 +5,264 @@ import (
 
 	"repro/internal/base"
 	"repro/internal/compaction"
-	"repro/internal/manifest"
 	"repro/internal/memtable"
 	"repro/internal/sstable"
 )
 
-// Iterator is a point-in-time range scan over the live keys of the store,
-// ascending. It is built by merging the memtable stack with every on-disk
-// table, keeping the newest version of each key and skipping tombstones —
-// the merge the non-overlapping-levels property makes cheap (paper §2).
+// Iterator is an ascending, point-in-time range scan over the live keys
+// of a snapshot. It is a *streaming* k-way merge over the pinned
+// memtable stack and the pinned version's tables: entries are produced
+// lazily, O(log sources) amortized per step, with nothing materialized
+// up front — creation costs one seek per source, not one copy per entry
+// in the range. The snapshot's pin keeps every source alive (including
+// files a concurrent compaction has since consumed), so flushes and
+// compactions proceed untouched underneath a long scan.
 //
-// The snapshot is materialized at creation (keys and values are copied),
-// so the iterator never blocks flushes or compactions and remains valid
-// after Close of the DB. This trades memory for isolation; it suits the
-// metadata-scale scans the examples and tests perform.
+// Usage: for it.Next() { it.Key(), it.Value() }; check Err, then Close.
+// Close releases the pin reference; an iterator opened via DB.NewIterator
+// owns a single-use snapshot and releases it too. Key and Value return
+// slices that stay valid until Close (they alias the pinned sources).
 type Iterator struct {
-	entries []base.Entry
-	pos     int
+	snap     *Snapshot
+	ownsSnap bool
+	dedup    *compaction.DedupIterator
+	cur      base.Entry
+	err      error
+	closed   bool
 }
 
-// NewIterator snapshots the range [start, limit) (nil means unbounded).
-func (db *DB) NewIterator(start, limit []byte) (*Iterator, error) {
-	db.mu.Lock()
-	if db.closed {
-		db.mu.Unlock()
+// NewIterator returns a streaming scan of [start, limit) (nil bounds are
+// unbounded) over the snapshot's pinned view.
+func (s *Snapshot) NewIterator(start, limit []byte) (*Iterator, error) {
+	if err := s.addRef(); err != nil {
+		return nil, err
+	}
+	db := s.db
+	// Sources newest-first: the merge resolves same-key ties by source
+	// rank, so fresher sources must come earlier.
+	its := []sstable.Iterator{newSnapMemIter(s.mem, &db.overlay, s.seq)}
+	for _, m := range s.imms {
+		its = append(its, &memSourceIter{it: m.NewIter()})
+	}
+	db.versionMu.RLock()
+	if db.tables == nil {
+		db.versionMu.RUnlock()
+		s.unref()
 		return nil, ErrClosed
 	}
-	mems := []*immutable{{mem: db.mem}}
-	for i := len(db.imm) - 1; i >= 0; i-- {
-		mems = append(mems, db.imm[i])
+	fail := func(err error) (*Iterator, error) {
+		db.versionMu.RUnlock()
+		closeAll(its)
+		s.unref()
+		return nil, err
 	}
-	db.mu.Unlock()
-
-	// Memtable contents, newest stack first.
-	var its []sstable.Iterator
-	for _, m := range mems {
-		its = append(its, newMemIter(m.mem.All()))
-	}
-
-	db.versionMu.RLock()
-	defer db.versionMu.RUnlock()
-	v := db.version
-	for _, f := range v.Levels[0] {
+	for _, f := range s.version.Levels[0] {
 		it, err := db.tables[f.ID].NewIterator()
 		if err != nil {
-			closeAll(its)
-			return nil, err
+			return fail(err)
 		}
 		its = append(its, it)
 	}
-	for l := 1; l < manifest.NumLevels; l++ {
-		for _, f := range v.Levels[l] {
+	for l := 1; l < len(s.version.Levels); l++ {
+		for _, f := range s.version.Levels[l] {
 			it, err := db.tables[f.ID].NewIterator()
 			if err != nil {
-				closeAll(its)
-				return nil, err
+				return fail(err)
 			}
 			its = append(its, it)
 		}
 	}
+	db.versionMu.RUnlock()
 
-	merge := compaction.NewMergeIterator(its)
-	dedup := compaction.NewDedupIterator(merge, true, nil)
-	defer dedup.Close()
-	out := &Iterator{}
-	for dedup.Next() {
-		e := dedup.Entry()
-		if start != nil && bytes.Compare(e.Key, start) < 0 {
-			continue
-		}
-		if limit != nil && bytes.Compare(e.Key, limit) >= 0 {
-			break
-		}
-		out.entries = append(out.entries, e.Clone())
+	for i := range its {
+		its[i] = &boundedIter{in: its[i], start: start, limit: limit}
 	}
-	if err := dedup.Err(); err != nil {
+	merge := compaction.NewMergeIterator(its)
+	return &Iterator{snap: s, dedup: compaction.NewDedupIterator(merge, true, nil)}, nil
+}
+
+// NewIterator returns a streaming scan of [start, limit) over a
+// single-use snapshot taken now; closing the iterator releases it.
+func (db *DB) NewIterator(start, limit []byte) (*Iterator, error) {
+	s, err := db.NewSnapshot()
+	if err != nil {
 		return nil, err
 	}
-	return out, nil
+	it, err := s.NewIterator(start, limit)
+	if err != nil {
+		s.Close()
+		return nil, err
+	}
+	it.ownsSnap = true
+	return it, nil
 }
 
 // Next advances; the iterator starts before the first entry.
 func (it *Iterator) Next() bool {
-	if it.pos >= len(it.entries) {
+	if it.closed || it.err != nil {
 		return false
 	}
-	it.pos++
-	return it.pos <= len(it.entries)
-}
-
-// Key returns the current key.
-func (it *Iterator) Key() []byte { return it.entries[it.pos-1].Key }
-
-// Value returns the current value.
-func (it *Iterator) Value() []byte { return it.entries[it.pos-1].Value }
-
-// Len reports the number of entries in the snapshot.
-func (it *Iterator) Len() int { return len(it.entries) }
-
-// memIter adapts a sorted entry slice to the table iterator interface.
-type memIter struct {
-	entries []*memEntryAdapter
-	pos     int
-}
-
-type memEntryAdapter struct {
-	e base.Entry
-}
-
-func newMemIter(entries []*memtable.Entry) sstable.Iterator {
-	out := &memIter{}
-	for _, e := range entries {
-		out.entries = append(out.entries, &memEntryAdapter{e.Base()})
-	}
-	return out
-}
-
-func (it *memIter) Next() bool {
-	if it.pos >= len(it.entries) {
+	if !it.dedup.Next() {
+		it.err = it.dedup.Err()
 		return false
 	}
-	it.pos++
+	it.cur = it.dedup.Entry()
 	return true
 }
 
-func (it *memIter) SeekGE(key []byte) bool {
-	lo, hi := 0, len(it.entries)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if bytes.Compare(it.entries[mid].e.Key, key) < 0 {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
+// Key returns the current key.
+func (it *Iterator) Key() []byte { return it.cur.Key }
+
+// Value returns the current value.
+func (it *Iterator) Value() []byte { return it.cur.Value }
+
+// Err returns the first error the scan encountered (nil on clean
+// exhaustion).
+func (it *Iterator) Err() error { return it.err }
+
+// Close releases the iterator's sources and its snapshot pin (and the
+// whole snapshot, when DB.NewIterator created it). Idempotent. It
+// returns Err() so `defer it.Close()` users still surface scan errors
+// when they check the return.
+func (it *Iterator) Close() error {
+	if it.closed {
+		return it.err
 	}
-	it.pos = lo + 1
-	return lo < len(it.entries)
+	it.closed = true
+	if err := it.dedup.Close(); err != nil && it.err == nil {
+		it.err = err
+	}
+	if it.ownsSnap {
+		it.snap.Close()
+	}
+	it.snap.unref()
+	return it.err
 }
 
-func (it *memIter) Entry() base.Entry { return it.entries[it.pos-1].e }
-func (it *memIter) Err() error        { return nil }
-func (it *memIter) Close() error      { return nil }
+// boundedIter restricts a source to [start, limit): the first advance
+// seeks to start (making creation O(seek), not O(prefix)), and the scan
+// reports exhaustion at the first key >= limit.
+type boundedIter struct {
+	in      sstable.Iterator
+	start   []byte
+	limit   []byte
+	started bool
+	done    bool
+}
+
+func (b *boundedIter) Next() bool {
+	if b.done {
+		return false
+	}
+	var ok bool
+	if !b.started {
+		b.started = true
+		if b.start != nil {
+			ok = b.in.SeekGE(b.start)
+		} else {
+			ok = b.in.Next()
+		}
+	} else {
+		ok = b.in.Next()
+	}
+	if !ok {
+		b.done = true
+		return false
+	}
+	if b.limit != nil && bytes.Compare(b.in.Entry().Key, b.limit) >= 0 {
+		b.done = true
+		return false
+	}
+	return true
+}
+
+func (b *boundedIter) SeekGE(key []byte) bool {
+	b.started = true
+	b.done = false
+	if b.start != nil && bytes.Compare(key, b.start) < 0 {
+		key = b.start
+	}
+	if !b.in.SeekGE(key) {
+		b.done = true
+		return false
+	}
+	if b.limit != nil && bytes.Compare(b.in.Entry().Key, b.limit) >= 0 {
+		b.done = true
+		return false
+	}
+	return true
+}
+
+func (b *boundedIter) Entry() base.Entry { return b.in.Entry() }
+func (b *boundedIter) Err() error        { return b.in.Err() }
+func (b *boundedIter) Close() error      { return b.in.Close() }
+
+// memSourceIter adapts a streaming memtable iterator to the table
+// iterator interface (immutable memtables need no sequence filtering:
+// they were sealed before the snapshot was taken).
+type memSourceIter struct {
+	it *memtable.Iter
+}
+
+func (m *memSourceIter) Next() bool             { return m.it.Next() }
+func (m *memSourceIter) SeekGE(key []byte) bool { return m.it.SeekGE(key) }
+func (m *memSourceIter) Entry() base.Entry      { e := m.it.Entry(); return e.Base() }
+func (m *memSourceIter) Err() error             { return nil }
+func (m *memSourceIter) Close() error           { return nil }
+
+// snapMemIter streams the live-at-capture memtable as of sequence
+// maxSeq. The memtable updates entries in place, so a key overwritten
+// after the capture shows a too-new sequence; the overlay preserved the
+// snapshot's version at overwrite time (the write path does so before
+// the in-place update commits), and this iterator substitutes it at
+// yield time. Keys with no version at or below maxSeq anywhere in the
+// live memtable's history (inserted after capture) are skipped — older
+// versions, if any, live in the immutables or tables behind this source.
+type snapMemIter struct {
+	it     *memtable.Iter
+	ov     *overlay
+	maxSeq uint64
+	cur    base.Entry
+}
+
+func newSnapMemIter(m *memtable.Memtable, ov *overlay, maxSeq uint64) sstable.Iterator {
+	return &snapMemIter{it: m.NewIter(), ov: ov, maxSeq: maxSeq}
+}
+
+func (s *snapMemIter) Next() bool {
+	for s.it.Next() {
+		if s.admit() {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *snapMemIter) SeekGE(key []byte) bool {
+	if !s.it.SeekGE(key) {
+		return false
+	}
+	if s.admit() {
+		return true
+	}
+	return s.Next()
+}
+
+// admit resolves the iterator's current raw entry against the snapshot
+// horizon, setting cur when a version <= maxSeq exists.
+func (s *snapMemIter) admit() bool {
+	e := s.it.Entry()
+	if e.Seq <= s.maxSeq {
+		s.cur = e.Base()
+		return true
+	}
+	if oe, ok := s.ov.get(e.Key, s.maxSeq); ok {
+		s.cur = oe
+		return true
+	}
+	return false
+}
+
+func (s *snapMemIter) Entry() base.Entry { return s.cur }
+func (s *snapMemIter) Err() error        { return nil }
+func (s *snapMemIter) Close() error      { return nil }

@@ -1,0 +1,438 @@
+package lsm
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+
+	"repro/internal/base"
+	"repro/internal/manifest"
+	"repro/internal/memtable"
+)
+
+// ErrSnapshotClosed is returned by reads on a snapshot after Close.
+var ErrSnapshotClosed = errors.New("lsm: snapshot closed")
+
+// Snapshot is a pinned, sequence-numbered read view of the store: every
+// read resolves to the newest version with Seq <= the pinned sequence,
+// exactly what was visible the instant NewSnapshot ran. The pin holds
+// three things alive until Close:
+//
+//   - the pinned sequence number, which filters out newer versions;
+//   - the memtable stack (live + immutables) of that instant — in-place
+//     updates the live memtable absorbs afterwards are compensated by
+//     the version overlay (see overlay);
+//   - the manifest version, whose table files are reference-counted so
+//     flushes and compactions cannot delete a file the snapshot still
+//     reads (a consumed-but-pinned file becomes a "zombie" and is
+//     removed when its last snapshot closes).
+//
+// A Snapshot is safe for concurrent use. Iterators opened from it keep
+// the underlying pin alive even if the Snapshot is closed first; the
+// resources are released when the last of them closes.
+type Snapshot struct {
+	db      *DB
+	seq     uint64
+	mem     *memtable.Memtable
+	imms    []*memtable.Memtable // newest-first, sealed before capture
+	version *manifest.Version
+	// pin is the registration token held by db.snaps. The DB must not
+	// reference the Snapshot itself: that would keep it reachable and
+	// defeat the leak finalizer.
+	pin *snapPin
+
+	mu     sync.Mutex
+	refs   int // 1 for the handle + 1 per open iterator
+	closed bool
+}
+
+// snapPin is a snapshot's registration in the DB (guarded by db.mu).
+type snapPin struct{ seq uint64 }
+
+// NewSnapshot pins the store's current state. The snapshot must be
+// Closed, or its pinned files and memtables linger until a finalizer
+// catches the leak.
+func (db *DB) NewSnapshot() (*Snapshot, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.newSnapshotLocked()
+}
+
+// NewSnapshots pins every store in dbs at one global instant: all write
+// locks are held simultaneously while the sequence numbers and memtable
+// stacks are captured, so no write anywhere can fall between two
+// captures. This is the cross-shard commit barrier the sharded engine
+// uses; combined with its apply barrier it makes a multi-store batch
+// either fully visible or fully invisible to the snapshots.
+//
+// On error every snapshot already taken is closed and nil is returned.
+func NewSnapshots(dbs []*DB) ([]*Snapshot, error) {
+	for _, db := range dbs {
+		db.mu.Lock()
+	}
+	out := make([]*Snapshot, 0, len(dbs))
+	var firstErr error
+	for _, db := range dbs {
+		if firstErr != nil {
+			break
+		}
+		s, err := db.newSnapshotLocked()
+		if err != nil {
+			firstErr = err
+			break
+		}
+		out = append(out, s)
+	}
+	for _, db := range dbs {
+		db.mu.Unlock()
+	}
+	if firstErr != nil {
+		for _, s := range out {
+			s.Close()
+		}
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// newSnapshotLocked captures the pin. Caller holds db.mu.
+func (db *DB) newSnapshotLocked() (*Snapshot, error) {
+	if db.closed {
+		return nil, ErrClosed
+	}
+	s := &Snapshot{db: db, seq: db.seq, mem: db.mem, refs: 1, pin: &snapPin{seq: db.seq}}
+	for i := len(db.imm) - 1; i >= 0; i-- {
+		s.imms = append(s.imms, db.imm[i].mem)
+	}
+	// Capture the version and take a reference on every file it names
+	// under versionMu so a racing installCompaction either sees the refs
+	// (and zombies the files) or completes before the capture.
+	db.versionMu.Lock()
+	s.version = db.version
+	for _, files := range s.version.Levels {
+		for _, f := range files {
+			db.refs[f.ID]++
+		}
+	}
+	db.versionMu.Unlock()
+	db.snaps[s.pin] = struct{}{}
+	if s.seq > db.maxPinned {
+		db.maxPinned = s.seq
+	}
+	// A leaked snapshot would pin files and memtables forever; the
+	// finalizer is the backstop (and the accounting for the leak tests).
+	runtime.SetFinalizer(s, (*Snapshot).finalize)
+	return s, nil
+}
+
+// finalize runs when the snapshot becomes unreachable. Its iterators
+// hold references to the snapshot, so unreachable-snapshot implies
+// every unclosed iterator leaked too: any references still outstanding
+// belong to garbage, and the whole pin can be force-released. A fully
+// closed snapshot (refs already zero) finalizes as a no-op — the
+// finalizer is deliberately NOT cleared in Close, so an iterator leaked
+// after its snapshot was closed is still reclaimed here.
+func (s *Snapshot) finalize() {
+	s.mu.Lock()
+	leaked := s.refs > 0
+	s.refs = 0
+	s.closed = true
+	s.mu.Unlock()
+	if leaked {
+		s.db.snapLeaks.Add(1)
+		s.db.releaseSnapshot(s)
+	}
+}
+
+// LeakedSnapshots reports how many snapshots were reclaimed by the
+// finalizer instead of an explicit Close.
+func (db *DB) LeakedSnapshots() int64 { return db.snapLeaks.Load() }
+
+// Seq reports the pinned sequence number.
+func (s *Snapshot) Seq() uint64 { return s.seq }
+
+// Get returns the value stored under key as of the snapshot, or
+// ErrNotFound; ErrSnapshotClosed after Close.
+func (s *Snapshot) Get(key []byte) ([]byte, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrSnapshotClosed
+	}
+	s.refs++ // hold the pin across the read, so Close cannot free tables mid-lookup
+	s.mu.Unlock()
+	defer s.unref()
+
+	db := s.db
+	db.met.UserReads.Add(1)
+
+	// Memory tier: the live-at-capture memtable (with the overlay
+	// compensating post-capture in-place overwrites), then the pinned
+	// immutables, newest first. Candidates are compared by sequence so
+	// the code does not depend on subtle cross-memtable orderings.
+	var best base.Entry
+	var found bool
+	consider := func(e base.Entry) {
+		if e.Seq <= s.seq && (!found || e.Seq > best.Seq) {
+			best, found = e, true
+		}
+	}
+	if e, ok := s.mem.Get(key); ok {
+		if e.Seq <= s.seq {
+			consider(e.Base())
+		} else if oe, ok := db.overlay.get(key, s.seq); ok {
+			consider(oe)
+		}
+	}
+	for _, m := range s.imms {
+		if e, ok := m.Get(key); ok {
+			consider(e.Base())
+			break // older imms hold only older versions
+		}
+	}
+	if found {
+		db.met.ReadsFromMem.Add(1)
+		return entryValue(best)
+	}
+	// Disk tier: every file in the pinned version predates the capture,
+	// so its entries all satisfy Seq <= s.seq — no filtering needed.
+	return db.getFromVersion(s.version, key)
+}
+
+// Close releases the snapshot's pin. Iterators opened from the snapshot
+// stay valid; the underlying resources are freed when the last one
+// closes. Close is idempotent and returns nil on repeat calls.
+func (s *Snapshot) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.unref()
+	return nil
+}
+
+// unref drops one pin reference, releasing the snapshot at zero.
+func (s *Snapshot) unref() {
+	s.mu.Lock()
+	s.refs--
+	release := s.refs == 0
+	s.mu.Unlock()
+	if release {
+		s.db.releaseSnapshot(s)
+	}
+}
+
+// addRef takes an extra pin reference (for a new iterator); it fails
+// once the snapshot is closed.
+func (s *Snapshot) addRef() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrSnapshotClosed
+	}
+	s.refs++
+	return nil
+}
+
+// releaseSnapshot unregisters s, garbage-collects the overlay, drops the
+// file references and deletes any zombie files whose last pin this was.
+func (db *DB) releaseSnapshot(s *Snapshot) {
+	db.mu.Lock()
+	if _, ok := db.snaps[s.pin]; !ok {
+		// Already released, or the DB was closed (Close cleaned up).
+		db.mu.Unlock()
+		return
+	}
+	delete(db.snaps, s.pin)
+	db.maxPinned = 0
+	for other := range db.snaps {
+		if other.seq > db.maxPinned {
+			db.maxPinned = other.seq
+		}
+	}
+	// The overlay GC must run while db.mu is still held: with the lock
+	// released, a newer snapshot could register and a writer preserve a
+	// version for it between our maxPinned read and the sweep — which
+	// would then drop that version and tear the new snapshot's view.
+	db.overlay.gc(db.maxPinned)
+	db.mu.Unlock()
+
+	db.versionMu.Lock()
+	var free []*manifest.FileMeta
+	for _, files := range s.version.Levels {
+		for _, f := range files {
+			db.refs[f.ID]--
+			if db.refs[f.ID] > 0 {
+				continue
+			}
+			delete(db.refs, f.ID)
+			if z, ok := db.zombies[f.ID]; ok {
+				delete(db.zombies, f.ID)
+				if db.tables != nil {
+					if t, ok := db.tables[f.ID]; ok {
+						t.Close()
+						delete(db.tables, f.ID)
+					}
+					free = append(free, z)
+				}
+			}
+		}
+	}
+	db.versionMu.Unlock()
+	for _, f := range free {
+		db.cache.EvictTable(f.ID)
+		db.removeTableFiles(f)
+	}
+}
+
+// OpenSnapshots reports the number of live (unreleased) snapshots.
+func (db *DB) OpenSnapshots() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return len(db.snaps)
+}
+
+// OverlaySize reports how many preserved old versions the snapshot
+// overlay currently holds (observability and leak tests).
+func (db *DB) OverlaySize() int { return db.overlay.size() }
+
+// getFromVersion walks the disk component of version v for key (nil
+// means the current version, resolved under the lock). It is the shared
+// tail of DB.Get and Snapshot.Get; a snapshot's pinned version is safe
+// here because its file references keep every table open.
+func (db *DB) getFromVersion(v *manifest.Version, key []byte) ([]byte, error) {
+	db.versionMu.RLock()
+	defer db.versionMu.RUnlock()
+	if db.tables == nil {
+		return nil, ErrClosed
+	}
+	if v == nil {
+		v = db.version
+	}
+	if db.opts.SizeTieredCompaction {
+		// Size-tiered files in L0 are not in strict freshness order (a
+		// merged table has a new file ID but old contents), so resolve
+		// by sequence number across every overlapping file.
+		var best base.Entry
+		var bestFound bool
+		for _, f := range v.Levels[0] {
+			e, found, reads, err := db.tables[f.ID].Get(key)
+			db.met.TableDiskReads.Add(int64(reads))
+			if err != nil {
+				return nil, err
+			}
+			if found && (!bestFound || e.Seq > best.Seq) {
+				best, bestFound = e, true
+			}
+		}
+		if bestFound {
+			return entryValue(best)
+		}
+		return nil, ErrNotFound
+	}
+	// L0: newest to oldest, all files (overlapping ranges).
+	for _, f := range v.Levels[0] {
+		e, found, reads, err := db.tables[f.ID].Get(key)
+		db.met.TableDiskReads.Add(int64(reads))
+		if err != nil {
+			return nil, err
+		}
+		if found {
+			return entryValue(e)
+		}
+	}
+	// Deeper levels: at most one file each.
+	for l := 1; l < manifest.NumLevels; l++ {
+		for _, f := range v.Overlapping(l, key, key) {
+			e, found, reads, err := db.tables[f.ID].Get(key)
+			db.met.TableDiskReads.Add(int64(reads))
+			if err != nil {
+				return nil, err
+			}
+			if found {
+				return entryValue(e)
+			}
+		}
+	}
+	return nil, ErrNotFound
+}
+
+// overlay preserves old versions of live-memtable entries for the
+// snapshots that still need them. The memtable absorbs updates in place
+// (the TRIAD premise), so without help the version a snapshot pinned
+// would be destroyed by the next write to the same key. The write path
+// calls preserve (under db.mu) with the about-to-be-overwritten entry
+// whenever an active snapshot could still read it; snapshot reads that
+// find a too-new version in the live memtable look up the newest
+// preserved version at or below their pinned sequence instead. Entries
+// are dropped as the snapshots needing them close.
+type overlay struct {
+	mu sync.RWMutex
+	// versions maps key -> preserved versions in ascending Seq order
+	// (preservation happens in commit order).
+	versions map[string][]base.Entry
+	n        int
+}
+
+// preserve records e (the entry being overwritten). Caller has checked
+// that some active snapshot pins a sequence >= e.Seq.
+func (o *overlay) preserve(e base.Entry) {
+	o.mu.Lock()
+	if o.versions == nil {
+		o.versions = make(map[string][]base.Entry)
+	}
+	o.versions[string(e.Key)] = append(o.versions[string(e.Key)], e)
+	o.n++
+	o.mu.Unlock()
+}
+
+// get returns the newest preserved version of key with Seq <= maxSeq.
+func (o *overlay) get(key []byte, maxSeq uint64) (base.Entry, bool) {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	vs := o.versions[string(key)]
+	for i := len(vs) - 1; i >= 0; i-- {
+		if vs[i].Seq <= maxSeq {
+			return vs[i], true
+		}
+	}
+	return base.Entry{}, false
+}
+
+// gc drops versions no snapshot can still need: everything when no
+// snapshot remains, otherwise versions newer than the highest pinned
+// sequence (a version is only readable by snapshots pinned at or above
+// its own sequence).
+func (o *overlay) gc(maxPinned uint64) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if maxPinned == 0 {
+		o.versions = nil
+		o.n = 0
+		return
+	}
+	for k, vs := range o.versions {
+		keep := vs[:0]
+		for _, v := range vs {
+			if v.Seq <= maxPinned {
+				keep = append(keep, v)
+			}
+		}
+		o.n -= len(vs) - len(keep)
+		if len(keep) == 0 {
+			delete(o.versions, k)
+		} else {
+			o.versions[k] = keep
+		}
+	}
+}
+
+// size reports the number of preserved versions.
+func (o *overlay) size() int {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.n
+}

@@ -1,0 +1,375 @@
+package lsm
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/vfs"
+)
+
+// TestSnapshotFrozenView: a snapshot's Get and iterator ignore every
+// write that lands after the pin — including in-place overwrites of
+// live-memtable entries (the overlay path), new keys, and deletes.
+func TestSnapshotFrozenView(t *testing.T) {
+	for _, mode := range []string{"baseline", "triad"} {
+		t.Run(mode, func(t *testing.T) {
+			fs := vfs.NewMemFS()
+			mk := smallOptions
+			if mode == "triad" {
+				mk = triadSmall
+			}
+			db := mustOpen(t, mk(fs))
+			defer db.Close()
+			for i := 0; i < 500; i++ {
+				if err := db.Put([]byte(fmt.Sprintf("key-%04d", i)), []byte(fmt.Sprintf("v1-%d", i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			s, err := db.NewSnapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+
+			// Overwrite everything, delete some, add new keys.
+			for i := 0; i < 500; i++ {
+				if err := db.Put([]byte(fmt.Sprintf("key-%04d", i)), []byte("v2")); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i := 0; i < 100; i++ {
+				if err := db.Delete([]byte(fmt.Sprintf("key-%04d", i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i := 500; i < 600; i++ {
+				if err := db.Put([]byte(fmt.Sprintf("key-%04d", i)), []byte("new")); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			// Point reads: the snapshot sees v1 everywhere, including the
+			// deleted range, and none of the new keys.
+			for _, i := range []int{0, 50, 123, 499} {
+				k := fmt.Sprintf("key-%04d", i)
+				v, err := s.Get([]byte(k))
+				if err != nil || string(v) != fmt.Sprintf("v1-%d", i) {
+					t.Fatalf("snapshot Get(%s) = %q, %v; want v1-%d", k, v, err, i)
+				}
+			}
+			if _, err := s.Get([]byte("key-0550")); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("snapshot sees post-pin key: %v", err)
+			}
+			// Live reads have moved on.
+			if v, err := db.Get([]byte("key-0200")); err != nil || string(v) != "v2" {
+				t.Fatalf("live Get = %q, %v; want v2", v, err)
+			}
+			if _, err := db.Get([]byte("key-0000")); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("live Get of deleted key = %v", err)
+			}
+
+			// The snapshot scan equals the pinned state exactly.
+			it, err := s.NewIterator(nil, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := 0
+			for it.Next() {
+				want := fmt.Sprintf("v1-%d", n)
+				if string(it.Key()) != fmt.Sprintf("key-%04d", n) || string(it.Value()) != want {
+					t.Fatalf("entry %d = (%q, %q), want (key-%04d, %s)", n, it.Key(), it.Value(), n, want)
+				}
+				n++
+			}
+			if err := it.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if n != 500 {
+				t.Fatalf("snapshot scan saw %d entries, want 500", n)
+			}
+		})
+	}
+}
+
+// TestSnapshotSurvivesFlushAndCompaction: files a snapshot pins outlive
+// the compactions that consume them (zombies), and are deleted when the
+// snapshot closes.
+func TestSnapshotSurvivesFlushAndCompaction(t *testing.T) {
+	fs := vfs.NewMemFS()
+	db := mustOpen(t, smallOptions(fs))
+	defer db.Close()
+	for i := 0; i < 2000; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("key-%05d", i)), []byte(fmt.Sprintf("v1-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	s, err := db.NewSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Overwrite everything and force the tree through flushes and full
+	// compactions: every file the snapshot pinned is consumed.
+	for i := 0; i < 2000; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("key-%05d", i)), []byte("v2")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CompactAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	beforeClose, err := fs.List("")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The snapshot still reads the pre-compaction state from the pinned
+	// (now-zombie) files.
+	for _, i := range []int{0, 777, 1999} {
+		k := fmt.Sprintf("key-%05d", i)
+		v, err := s.Get([]byte(k))
+		if err != nil || string(v) != fmt.Sprintf("v1-%d", i) {
+			t.Fatalf("snapshot Get(%s) after compaction = %q, %v", k, v, err)
+		}
+	}
+	it, err := s.NewIterator([]byte("key-00100"), []byte("key-00110"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for it.Next() {
+		if string(it.Value()) != fmt.Sprintf("v1-%d", 100+n) {
+			t.Fatalf("scan after compaction: %s = %q", it.Key(), it.Value())
+		}
+		n++
+	}
+	if err := it.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 {
+		t.Fatalf("scan saw %d entries, want 10", n)
+	}
+
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	afterClose, err := fs.List("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(afterClose) >= len(beforeClose) {
+		t.Fatalf("closing the snapshot freed no files: %d before, %d after", len(beforeClose), len(afterClose))
+	}
+	if db.OpenSnapshots() != 0 {
+		t.Fatalf("OpenSnapshots = %d after close", db.OpenSnapshots())
+	}
+}
+
+// TestSnapshotClosedErrors: reads on a closed snapshot fail with
+// ErrSnapshotClosed; Close is idempotent; iterators opened before Close
+// stay valid until they close (they hold their own pin).
+func TestSnapshotClosedErrors(t *testing.T) {
+	db := mustOpen(t, smallOptions(vfs.NewMemFS()))
+	defer db.Close()
+	for i := 0; i < 100; i++ {
+		db.Put([]byte(fmt.Sprintf("k%03d", i)), []byte("v"))
+	}
+	s, err := db.NewSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, err := s.NewIterator(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal("second Close:", err)
+	}
+	if _, err := s.Get([]byte("k000")); !errors.Is(err, ErrSnapshotClosed) {
+		t.Fatalf("Get after Close = %v, want ErrSnapshotClosed", err)
+	}
+	if _, err := s.NewIterator(nil, nil); !errors.Is(err, ErrSnapshotClosed) {
+		t.Fatalf("NewIterator after Close = %v, want ErrSnapshotClosed", err)
+	}
+	// The pre-Close iterator keeps working: it holds a pin reference.
+	n := 0
+	for it.Next() {
+		n++
+	}
+	if n != 100 {
+		t.Fatalf("iterator after snapshot Close saw %d entries, want 100", n)
+	}
+	if err := it.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotRefcountAccounting: overlapping snapshots pin shared
+// files; releases are exact (no file freed early, none leaked).
+func TestSnapshotRefcountAccounting(t *testing.T) {
+	fs := vfs.NewMemFS()
+	db := mustOpen(t, smallOptions(fs))
+	defer db.Close()
+	for i := 0; i < 1000; i++ {
+		db.Put([]byte(fmt.Sprintf("k%05d", i)), []byte("v1"))
+	}
+	db.Flush()
+	s1, err := db.NewSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := db.NewSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.OpenSnapshots() != 2 {
+		t.Fatalf("OpenSnapshots = %d, want 2", db.OpenSnapshots())
+	}
+	for i := 0; i < 1000; i++ {
+		db.Put([]byte(fmt.Sprintf("k%05d", i)), []byte("v2"))
+	}
+	db.Flush()
+	if err := db.CompactAll(); err != nil {
+		t.Fatal(err)
+	}
+	// s1 closes; s2 still pins the shared zombies, so both must read v1.
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := s2.Get([]byte("k00042")); err != nil || string(v) != "v1" {
+		t.Fatalf("s2 after s1.Close: Get = %q, %v; want v1", v, err)
+	}
+	before, _ := fs.List("")
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := fs.List("")
+	if len(after) >= len(before) {
+		t.Fatalf("last snapshot close freed no files (%d -> %d)", len(before), len(after))
+	}
+	if db.OverlaySize() != 0 {
+		t.Fatalf("overlay not drained: %d preserved versions", db.OverlaySize())
+	}
+}
+
+// TestSnapshotLeakFinalizer: a snapshot dropped without Close is
+// reclaimed by its finalizer, which releases the pin and counts the
+// leak — including when open iterators (which hold extra pin
+// references) are leaked along with it, or leaked after the snapshot
+// handle itself was closed.
+func TestSnapshotLeakFinalizer(t *testing.T) {
+	db := mustOpen(t, smallOptions(vfs.NewMemFS()))
+	defer db.Close()
+	db.Put([]byte("k"), []byte("v"))
+	waitReclaimed := func(wantLeaks int64) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for db.LeakedSnapshots() < wantLeaks || db.OpenSnapshots() != 0 {
+			if time.Now().After(deadline) {
+				t.Fatalf("leak not reclaimed: leaks=%d (want %d) open=%d", db.LeakedSnapshots(), wantLeaks, db.OpenSnapshots())
+			}
+			runtime.GC()
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	func() {
+		s, err := db.NewSnapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = s // dropped without Close
+	}()
+	waitReclaimed(1)
+	func() {
+		// Snapshot handle AND an iterator (refs=2), both dropped.
+		s, err := db.NewSnapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.NewIterator(nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	waitReclaimed(2)
+	func() {
+		// Handle closed properly, iterator leaked (refs stuck at 1).
+		s, err := db.NewSnapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.NewIterator(nil, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	waitReclaimed(3)
+	// A fully closed snapshot must NOT count as a leak.
+	s, err := db.NewSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, err := s.NewIterator(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := it.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	runtime.GC()
+	runtime.GC()
+	time.Sleep(20 * time.Millisecond)
+	if n := db.LeakedSnapshots(); n != 3 {
+		t.Fatalf("clean close counted as leak: LeakedSnapshots = %d, want 3", n)
+	}
+}
+
+// TestIteratorStreamsLazily: creating an iterator over a large store
+// and reading a few entries must not materialize the range — the
+// regression the streaming redesign exists to prevent. Guarded by a
+// generous allocation bound rather than an exact count.
+func TestIteratorStreamsLazily(t *testing.T) {
+	db := mustOpen(t, smallOptions(vfs.NewMemFS()))
+	defer db.Close()
+	const keys = 50000
+	for i := 0; i < keys; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("k%06d", i)), []byte("0123456789abcdef")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		it, err := db.NewIterator(nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 10 && it.Next(); i++ {
+		}
+		it.Close()
+	})
+	// The old iterator cloned every one of the 50k entries (several
+	// allocations each); streaming needs a few hundred for the sources
+	// and block reads.
+	if allocs > 5000 {
+		t.Fatalf("short scan allocated %.0f objects — iterator is materializing the range", allocs)
+	}
+}

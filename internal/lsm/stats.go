@@ -25,8 +25,12 @@ func (db *DB) Stats() string {
 	memLen := db.mem.Len()
 	immCount := len(db.imm)
 	logBytes := db.log.Size()
+	snapCount := len(db.snaps)
 	db.mu.Unlock()
 	fmt.Fprintf(&b, "memtable: %d entries, %d bytes (+%d immutable queued)\n", memLen, memBytes, immCount)
+	if snapCount > 0 || db.OverlaySize() > 0 {
+		fmt.Fprintf(&b, "snapshots: %d open (%d preserved versions)\n", snapCount, db.OverlaySize())
+	}
 	fmt.Fprintf(&b, "commit log: %d bytes\n", logBytes)
 	fmt.Fprintf(&b, "flushes: %d (skipped: %d)  compactions: %d (deferred: %d)\n",
 		m.Flushes, m.FlushSkips, m.Compactions, m.CompactionsDeferred)

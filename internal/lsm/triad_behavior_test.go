@@ -447,8 +447,11 @@ func TestTombstonesDroppedAtBottom(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if it.Len() != 0 {
-		t.Fatalf("%d live entries after deleting everything", it.Len())
+	for it.Next() {
+		t.Fatalf("live entry %q after deleting everything", it.Key())
+	}
+	if err := it.Close(); err != nil {
+		t.Fatal(err)
 	}
 	// A second full compaction pass should leave a tree whose levels
 	// hold no entries (tombstones reclaimed at the bottom).

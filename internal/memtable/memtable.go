@@ -144,6 +144,57 @@ func (m *Memtable) SeekAll(from []byte) []*Entry {
 	return out
 }
 
+// Iter is a streaming iterator over the memtable in ascending key order.
+// It is safe to use while the memtable is still receiving writes: every
+// step takes the memtable lock, advances, copies the current entry and
+// releases, so the iterator holds no lock between steps and never blocks
+// writers for longer than one entry copy. Skiplist nodes are never
+// removed, so a held position stays valid across concurrent inserts.
+// Keys inserted mid-iteration behind the current position are not
+// revisited; in-place updates ahead of it are observed with their new
+// sequence number — callers needing a point-in-time view filter by
+// sequence (the snapshot layer does).
+type Iter struct {
+	m   *Memtable
+	it  *skiplist.Iterator
+	cur Entry
+	ok  bool
+}
+
+// NewIter returns an iterator positioned before the first entry.
+func (m *Memtable) NewIter() *Iter {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return &Iter{m: m, it: m.list.NewIterator()}
+}
+
+// Next advances and reports whether an entry is available.
+func (it *Iter) Next() bool {
+	it.m.mu.RLock()
+	it.ok = it.it.Next()
+	if it.ok {
+		it.cur = *it.it.Value().(*Entry)
+	}
+	it.m.mu.RUnlock()
+	return it.ok
+}
+
+// SeekGE positions at the first entry with key >= key.
+func (it *Iter) SeekGE(key []byte) bool {
+	it.m.mu.RLock()
+	it.ok = it.it.SeekGE(key)
+	if it.ok {
+		it.cur = *it.it.Value().(*Entry)
+	}
+	it.m.mu.RUnlock()
+	return it.ok
+}
+
+// Entry returns a copy of the current entry (valid after a true
+// Next/SeekGE). The slices it references are never mutated in place by
+// the memtable, so they stay stable.
+func (it *Iter) Entry() Entry { return it.cur }
+
 // HotPolicy selects how SeparateKeys picks hot entries.
 type HotPolicy uint8
 

@@ -62,6 +62,9 @@ func (c *conn) beginDrain() {
 // goroutine, joined by the replies queue.
 func (c *conn) serve() {
 	defer c.nc.Close()
+	// Cursors die with their connection: release any the client left
+	// open, so an abrupt disconnect cannot pin snapshots past the TTL.
+	defer c.srv.cursors.removeConn(c)
 	writerDone := make(chan struct{})
 	go func() {
 		defer close(writerDone)
@@ -180,6 +183,28 @@ func (c *conn) dispatch(args [][]byte) {
 		}
 		c.write(keys, entries, resp.Simple("OK"))
 	case "SCAN":
+		// Subcommand forms first: SCAN CONT <cursor> [count] resumes a
+		// server-side cursor, SCAN CLOSE <cursor> releases one. The
+		// subcommand word must be followed by a cursor-shaped token
+		// ("c" + digits, the only ids the server hands out), so an open
+		// scan whose literal start key is "cont"/"close" still works —
+		// it is only shadowed when its limit also looks like a cursor.
+		if len(args) >= 3 && isCursorID(args[2]) {
+			switch asciiUpper(args[1]) {
+			case "CONT":
+				if !c.wantArgs(args, 3, 4, "SCAN CONT cursor [count]") {
+					return
+				}
+				c.scanCont(args[2], args[3:])
+				return
+			case "CLOSE":
+				if !c.wantArgs(args, 3, 3, "SCAN CLOSE cursor") {
+					return
+				}
+				c.scanClose(args[2])
+				return
+			}
+		}
 		if !c.wantArgs(args, 1, 4, "SCAN [start [limit [count]]]") {
 			return
 		}
@@ -190,7 +215,7 @@ func (c *conn) dispatch(args [][]byte) {
 			return
 		}
 		c.barrier()
-		c.send(resp.Bulk([]byte(c.srv.store.Stats())))
+		c.send(resp.Bulk([]byte(c.srv.statsText())))
 	case "FLUSH":
 		if !c.wantArgs(args, 1, 1, "FLUSH") {
 			return
@@ -269,9 +294,32 @@ func (c *conn) write(keys [][]byte, entries []base.Entry, ok resp.Value) {
 	c.replies <- reply{pb: pb, ok: ok}
 }
 
-// scan serves SCAN [start [limit [count]]]: a flat array of alternating
-// keys and values, at most count (≤ ScanMaxEntries) pairs. Clients page
-// by passing the last key plus a zero byte as the next start.
+// scanCount parses the optional COUNT argument, capped at the server's
+// per-page maximum.
+func (c *conn) scanCount(args [][]byte) (int, bool) {
+	count := c.srv.cfg.ScanMaxEntries
+	if len(args) > 0 {
+		n, err := strconv.Atoi(string(args[0]))
+		if err != nil || n <= 0 {
+			c.send(resp.Error("ERR invalid SCAN count"))
+			return 0, false
+		}
+		if n < count {
+			count = n
+		}
+	}
+	return count, true
+}
+
+// scan serves SCAN [start [limit [count]]]: it pins a cross-shard
+// snapshot, opens a streaming iterator on it, and replies with
+// [cursor, k1, v1, ...] — the first page plus the cursor to resume
+// from. The cursor is "0" when the page already exhausted the range
+// (nothing is retained server-side); otherwise the snapshot stays
+// pinned until SCAN CONT drains it, SCAN CLOSE releases it, the idle
+// TTL fires, or the connection dies. Because every page reads the same
+// pinned snapshot, paging is repeatable: concurrent writes — including
+// cross-shard batches — never appear mid-scan.
 func (c *conn) scan(args [][]byte) {
 	var start, limit []byte
 	if len(args) > 0 && len(args[0]) > 0 {
@@ -280,30 +328,64 @@ func (c *conn) scan(args [][]byte) {
 	if len(args) > 1 && len(args[1]) > 0 {
 		limit = args[1]
 	}
-	count := c.srv.cfg.ScanMaxEntries
-	if len(args) > 2 {
-		n, err := strconv.Atoi(string(args[2]))
-		if err != nil || n <= 0 {
-			c.send(resp.Error("ERR invalid SCAN count"))
-			return
-		}
-		if n < count {
-			count = n
-		}
+	count, ok := c.scanCount(args[2:])
+	if !ok {
+		return
 	}
-	it, err := c.srv.store.NewIterator(start, limit)
+	if !c.srv.cursors.canOpen(c) {
+		c.send(resp.Error(fmtErr(c.srv.cursors.errTooManyCursors())))
+		return
+	}
+	snap, err := c.srv.store.NewSnapshot()
 	if err != nil {
 		c.send(resp.Error(fmtErr(err)))
 		return
 	}
-	elems := make([]resp.Value, 0, 64)
-	for len(elems) < 2*count && it.Next() {
-		// The iterator owns its buffers; copy before queueing.
-		k := append([]byte(nil), it.Key()...)
-		v := append([]byte(nil), it.Value()...)
-		elems = append(elems, resp.Bulk(k), resp.Bulk(v))
+	it, err := snap.NewIterator(start, limit)
+	if err != nil {
+		snap.Close()
+		c.send(resp.Error(fmtErr(err)))
+		return
 	}
-	c.send(resp.Array(elems...))
+	cur, err := c.srv.cursors.open(c, snap, it)
+	if err != nil {
+		it.Close()
+		snap.Close()
+		c.send(resp.Error(fmtErr(err)))
+		return
+	}
+	v, _ := c.srv.cursors.readPage(cur, count)
+	c.send(v)
+}
+
+// scanCont serves SCAN CONT <cursor> [count]: the next page of a
+// cursor's pinned scan. No read barrier — the whole point is that the
+// cursor reads its original snapshot, not the connection's latest
+// writes.
+func (c *conn) scanCont(id []byte, args [][]byte) {
+	count, ok := c.scanCount(args)
+	if !ok {
+		return
+	}
+	cur, ok := c.srv.cursors.lookup(c, string(id))
+	if !ok {
+		c.send(resp.Error("ERR unknown cursor"))
+		return
+	}
+	v, _ := c.srv.cursors.readPage(cur, count)
+	c.send(v)
+}
+
+// scanClose serves SCAN CLOSE <cursor>: releases the cursor's iterator
+// and pinned snapshot.
+func (c *conn) scanClose(id []byte) {
+	cur, ok := c.srv.cursors.lookup(c, string(id))
+	if !ok {
+		c.send(resp.Error("ERR unknown cursor"))
+		return
+	}
+	c.srv.cursors.remove(cur)
+	c.send(resp.Simple("OK"))
 }
 
 // asciiUpper uppercases a command name without allocating for the common

@@ -140,9 +140,21 @@ func compareStores(t *testing.T, c *client.Conn, ref *triad.DB, touched map[stri
 		}
 	}
 
-	keys, vals, err := c.ScanAll(nil, nil)
+	// Page with a small count so the comparison walks the cursor path
+	// (ScanAll always uses cursors; forcing several pages makes CONT do
+	// real work at every comparison point).
+	cursor, keys, vals, err := c.ScanOpen(nil, nil, 64)
 	if err != nil {
 		t.Fatal(err)
+	}
+	for cursor != client.DoneCursor {
+		var ks, vs [][]byte
+		cursor, ks, vs, err = c.ScanCont(cursor, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, ks...)
+		vals = append(vals, vs...)
 	}
 	it, err := ref.NewIterator(nil, nil)
 	if err != nil {
@@ -161,5 +173,105 @@ func compareStores(t *testing.T, c *client.Conn, ref *triad.DB, touched map[stri
 	}
 	if i != len(keys) {
 		t.Fatalf("client scan has %d entries, embedded %d", len(keys), i)
+	}
+	if err := it.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDifferentialCursorPagingUnderWriters pages tiny cursor pages
+// through a store being rewritten by concurrent MSET writers that
+// maintain a constant pair sum. Every fully-paged scan must be a
+// consistent point-in-time view: all pairs present, every pair summing
+// to the invariant — across page boundaries, which is exactly what the
+// pinned cursor snapshot guarantees and last-key-resume paging did not.
+func TestDifferentialCursorPagingUnderWriters(t *testing.T) {
+	db := newTestStore(t, 4)
+	_, addr := startServer(t, db, server.Config{})
+	const (
+		pairs = 20
+		sum   = 1000
+	)
+	seed := dial(t, addr)
+	for i := 0; i < pairs; i++ {
+		if err := seed.MSet(
+			[]byte(fmt.Sprintf("bal-a-%03d", i)), []byte(fmt.Sprintf("%04d", sum)),
+			[]byte(fmt.Sprintf("bal-b-%03d", i)), []byte("0000"),
+		); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	stop := make(chan struct{})
+	done := make(chan error, 2)
+	for w := 0; w < 2; w++ {
+		go func(w int) {
+			wc, err := client.Dial(addr)
+			if err != nil {
+				done <- err
+				return
+			}
+			defer wc.Close()
+			rng := rand.New(rand.NewSource(int64(w) + 7))
+			// Disjoint pair ownership: concurrent conflicting cross-shard
+			// batches have no cross-shard ordering guarantee.
+			lo, hi := w*pairs/2, (w+1)*pairs/2
+			for {
+				select {
+				case <-stop:
+					done <- nil
+					return
+				default:
+				}
+				i := lo + rng.Intn(hi-lo)
+				r := rng.Intn(sum + 1)
+				if err := wc.MSet(
+					[]byte(fmt.Sprintf("bal-a-%03d", i)), []byte(fmt.Sprintf("%04d", r)),
+					[]byte(fmt.Sprintf("bal-b-%03d", i)), []byte(fmt.Sprintf("%04d", sum-r)),
+				); err != nil {
+					done <- err
+					return
+				}
+			}
+		}(w)
+	}
+
+	c := dial(t, addr)
+	for round := 0; round < 40 && !t.Failed(); round++ {
+		seen := map[string]int{}
+		cursor, keys, vals, err := c.ScanOpen([]byte("bal-"), []byte("bal-z"), 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for {
+			for i := range keys {
+				var n int
+				fmt.Sscanf(string(vals[i]), "%d", &n)
+				seen[string(keys[i])] = n
+			}
+			if cursor == client.DoneCursor {
+				break
+			}
+			cursor, keys, vals, err = c.ScanCont(cursor, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if len(seen) != 2*pairs {
+			t.Fatalf("round %d: paged scan saw %d keys, want %d", round, len(seen), 2*pairs)
+		}
+		for i := 0; i < pairs; i++ {
+			a := seen[fmt.Sprintf("bal-a-%03d", i)]
+			b := seen[fmt.Sprintf("bal-b-%03d", i)]
+			if a+b != sum {
+				t.Fatalf("round %d: pair %d sums to %d across pages, want %d — cursor view not snapshot-consistent", round, i, a+b, sum)
+			}
+		}
+	}
+	close(stop)
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Errorf("writer: %v", err)
+		}
 	}
 }

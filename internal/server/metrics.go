@@ -20,7 +20,7 @@ func (s *Server) MetricsHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprint(w, s.store.Stats())
+		fmt.Fprint(w, s.statsText())
 	})
 	dump := func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -59,10 +59,15 @@ func (s *Server) MetricsText() string {
 		fmt.Fprintf(&b, "triad_shard_read_amplification{shard=\"%d\"} %.4f\n", st.Shard, st.RA)
 	}
 
+	line("snapshots_open", s.store.OpenSnapshots())
+
 	open, total, commands := s.ConnStats()
 	line("server_connections_open", open)
 	line("server_connections_total", total)
 	line("server_commands_total", commands)
+	curOpen, curTotal := s.CursorStats()
+	line("server_cursors_open", curOpen)
+	line("server_cursors_total", curTotal)
 	batches, ops := s.GroupCommitStats()
 	line("server_group_commit_batches_total", batches)
 	line("server_group_commit_ops_total", ops)
@@ -70,4 +75,12 @@ func (s *Server) MetricsText() string {
 		fmt.Fprintf(&b, "triad_server_group_commit_mean_size %.2f\n", float64(ops)/float64(batches))
 	}
 	return b.String()
+}
+
+// statsText is the STATS / /stats body: the engine dump plus the
+// server's own snapshot/cursor accounting.
+func (s *Server) statsText() string {
+	curOpen, curTotal := s.CursorStats()
+	return s.store.Stats() + fmt.Sprintf("server: %d cursors open (%d lifetime), %d store snapshots open\n",
+		curOpen, curTotal, s.store.OpenSnapshots())
 }

@@ -50,7 +50,12 @@ type Store interface {
 	Stats() string
 	Metrics() metrics.Snapshot
 	ShardStats() []shard.ShardStat
-	NewIterator(start, limit []byte) (shard.Iter, error)
+	// NewSnapshot pins a cross-shard point-in-time view; every SCAN
+	// reads through one (cursors hold theirs open across pages, which
+	// is what makes paging repeatable).
+	NewSnapshot() (*shard.Snapshot, error)
+	// OpenSnapshots reports the store's live snapshot count (metrics).
+	OpenSnapshots() int
 }
 
 var _ Store = (*shard.DB)(nil)
@@ -80,9 +85,15 @@ type Config struct {
 	// that pipelines deeper blocks until replies drain (backpressure).
 	// Default 1024.
 	MaxPipeline int
-	// ScanMaxEntries caps one SCAN reply; clients page with the last key
-	// as the next start. Default 4096.
+	// ScanMaxEntries caps one SCAN reply page; clients page through the
+	// rest with SCAN CONT on the returned cursor. Default 4096.
 	ScanMaxEntries int
+	// CursorTTL closes a SCAN cursor (releasing its pinned snapshot)
+	// after this much idle time. Default 60s.
+	CursorTTL time.Duration
+	// MaxCursorsPerConn caps the cursors one connection may hold open;
+	// further SCANs error until one closes. Default 16.
+	MaxCursorsPerConn int
 	// Logf, when set, receives connection-level diagnostics (protocol
 	// errors, accept failures). Default: discard.
 	Logf func(format string, args ...any)
@@ -104,6 +115,12 @@ func (c Config) withDefaults() Config {
 	if c.ScanMaxEntries <= 0 {
 		c.ScanMaxEntries = 4096
 	}
+	if c.CursorTTL <= 0 {
+		c.CursorTTL = 60 * time.Second
+	}
+	if c.MaxCursorsPerConn <= 0 {
+		c.MaxCursorsPerConn = 16
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
@@ -115,9 +132,10 @@ func (c Config) withDefaults() Config {
 // Close (abrupt). The Store's lifecycle belongs to the caller: Shutdown
 // drains the server but does not close the engine.
 type Server struct {
-	store Store
-	cfg   Config
-	gc    *committer // nil when group commit is disabled
+	store   Store
+	cfg     Config
+	gc      *committer // nil when group commit is disabled
+	cursors *registry  // server-side SCAN cursors
 
 	mu      sync.Mutex
 	ln      net.Listener
@@ -142,6 +160,7 @@ func New(store Store, cfg Config) *Server {
 	if !s.cfg.DisableGroupCommit {
 		s.gc = newCommitter(store, s.cfg)
 	}
+	s.cursors = newRegistry(s.cfg)
 	return s
 }
 
@@ -276,6 +295,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if s.gc != nil {
 		s.gc.close()
 	}
+	s.cursors.close()
 	close(s.drained)
 	return err
 }
@@ -304,6 +324,11 @@ func (s *Server) ConnStats() (open int, total, commands int64) {
 	open = len(s.conns)
 	s.mu.Unlock()
 	return open, s.totalConns.Load(), s.commands.Load()
+}
+
+// CursorStats reports open and lifetime SCAN cursor counts.
+func (s *Server) CursorStats() (open int, total int64) {
+	return s.cursors.openCount(), s.cursors.openedTotal()
 }
 
 // errShuttingDown is the reply given to writes that race a shutdown.

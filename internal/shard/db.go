@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/lsm"
 	"repro/internal/vfs"
@@ -104,6 +105,16 @@ func DivideBudgets(o lsm.Options, n int) lsm.Options {
 type DB struct {
 	shards []*lsm.DB
 	part   Partitioner
+
+	// applyMu is the cross-shard commit barrier. Cross-shard Apply holds
+	// the read side for its whole fan-out (many batches commit
+	// concurrently); NewSnapshot holds the write side while it captures
+	// every shard, so a snapshot never lands in the middle of a
+	// multi-shard batch. Single-shard writes need no barrier — they are
+	// atomic on their shard.
+	applyMu sync.RWMutex
+
+	openSnaps atomic.Int64
 }
 
 // Open opens (creating or recovering) every shard. Recovery is
@@ -245,6 +256,13 @@ type Batch = lsm.Batch
 // on its shard, but a failure can leave the batch applied on some shards
 // and not others (the batch then stays uncommitted, so retrying after
 // the error is safe — re-applying a Put/Delete set is idempotent).
+//
+// Point reads and single-shard scans can observe a batch half applied;
+// a Snapshot (or any multi-shard iterator, which rides on one) cannot:
+// NewSnapshot waits for in-flight cross-shard batches and commits block
+// while a capture runs. Two *concurrent* Apply calls writing the same
+// keys commit in unspecified per-shard order, so callers needing a
+// cross-key invariant must serialize conflicting batches themselves.
 func (db *DB) Apply(b *Batch) error {
 	if b.Committed() {
 		return errors.New("shard: batch already applied (Reset to reuse)")
@@ -267,12 +285,33 @@ func (db *DB) Apply(b *Batch) error {
 		// PutEntry re-queues them without copying again.
 		subs[i].PutEntry(e)
 	}
-	if err := db.fanOut(func(i int, s *lsm.DB) error {
+	// Absorb write stalls before entering the barrier: the read side is
+	// held across the whole fan-out, so a shard stalling inside (L0
+	// full, flush queue full — potentially seconds) would hold the
+	// barrier, and a NewSnapshot waiting on the write side would convoy
+	// every other cross-shard batch behind the one stalled shard.
+	// Waiting here narrows that to the rare stall that develops between
+	// this check and the commit.
+	for i, sub := range subs {
+		if sub == nil {
+			continue
+		}
+		if err := db.shards[i].WaitWritable(); err != nil {
+			return err
+		}
+	}
+	// Hold the apply barrier's read side across the fan-out so a
+	// concurrent NewSnapshot (write side) can never capture the shards
+	// with this batch half applied.
+	db.applyMu.RLock()
+	err := db.fanOut(func(i int, s *lsm.DB) error {
 		if subs[i] == nil {
 			return nil
 		}
 		return s.Apply(subs[i])
-	}); err != nil {
+	})
+	db.applyMu.RUnlock()
+	if err != nil {
 		return err
 	}
 	b.MarkCommitted()

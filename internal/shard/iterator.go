@@ -3,15 +3,14 @@ package shard
 import (
 	"bytes"
 	"container/heap"
-	"errors"
-	"sync"
 
 	"repro/internal/lsm"
 )
 
-// Iter is the iterator surface DB.NewIterator returns. Which concrete
-// type backs it depends on what the partitioner's ownership query says
-// about the scan bounds:
+// Iter is the iterator surface DB.NewIterator and Snapshot.NewIterator
+// return: a streaming, ascending scan. Which concrete type backs it
+// depends on what the partitioner's ownership query says about the scan
+// bounds:
 //
 //   - one shard can hold the range  → that shard's *lsm.Iterator,
 //     verbatim (no cross-shard machinery at all);
@@ -25,45 +24,39 @@ type Iter interface {
 	Key() []byte
 	// Value returns the current value.
 	Value() []byte
-	// Len reports the total number of entries in the snapshot.
-	Len() int
+	// Err returns the first error the scan encountered.
+	Err() error
+	// Close releases the per-shard iterators and their snapshot pins.
+	Close() error
 }
 
-// NewIterator snapshots the range [start, limit) (nil bounds are
-// unbounded) on every shard the partitioner says can hold it, in
-// parallel, and returns the cheapest iterator the ownership structure
-// allows. Each shard's snapshot is point-in-time consistent; the
-// snapshots of different shards are taken concurrently but not at one
-// global instant (there is no cross-shard write ordering to preserve —
-// only writes to the same key order, and a key never changes shards).
+// NewIterator returns a streaming scan of [start, limit) (nil bounds
+// are unbounded). A scan a single shard can serve skips the cross-shard
+// snapshot entirely (per-shard commits are atomic, so one shard's view
+// is always consistent); a scan spanning shards is taken on a pinned
+// cross-shard snapshot that dies with the iterator, so it can never
+// observe half of a concurrent cross-shard Apply.
 func (db *DB) NewIterator(start, limit []byte) (Iter, error) {
 	idx, ordered := db.part.Ranges(start, limit, len(db.shards))
-	if len(idx) == 0 {
+	switch len(idx) {
+	case 0:
+		// Nothing owns the range (inverted or empty bounds): no shard
+		// work, and in particular no cross-shard barrier.
 		return &Concat{}, nil
+	case 1:
+		it, err := db.shards[idx[0]].NewIterator(start, limit)
+		if err != nil {
+			// Return an explicit nil: a typed-nil *lsm.Iterator inside
+			// the interface would pass callers' `it != nil` checks.
+			return nil, err
+		}
+		return it, nil
 	}
-	its := make([]*lsm.Iterator, len(idx))
-	errs := make([]error, len(idx))
-	var wg sync.WaitGroup
-	for j, i := range idx {
-		wg.Add(1)
-		go func(j, i int) {
-			defer wg.Done()
-			its[j], errs[j] = db.shards[i].NewIterator(start, limit)
-		}(j, i)
-	}
-	wg.Wait()
-	if err := errors.Join(errs...); err != nil {
+	s, err := db.NewSnapshot()
+	if err != nil {
 		return nil, err
 	}
-	if ordered {
-		if len(its) == 1 {
-			// Single-shard fast path: the scan is entirely one shard's,
-			// so its iterator is the scan — no heap, no indirection.
-			return its[0], nil
-		}
-		return NewConcat(its), nil
-	}
-	return newMerged(its), nil
+	return s.newIteratorPlanned(start, limit, idx, ordered, s)
 }
 
 // Concat visits per-shard iterators back to back. It is correct exactly
@@ -72,26 +65,31 @@ func (db *DB) NewIterator(start, limit []byte) (Iter, error) {
 // makes every advance O(1) — no comparisons, no heap — while still
 // yielding one globally sorted stream.
 type Concat struct {
-	its []*lsm.Iterator
-	pos int
-	n   int
+	its    []*lsm.Iterator
+	pos    int
+	snap   *Snapshot // owned single-use snapshot, nil otherwise
+	err    error
+	closed bool
 }
 
 // NewConcat builds a concatenation over iterators whose key ranges are
 // disjoint and ascending in slice order.
 func NewConcat(its []*lsm.Iterator) *Concat {
-	c := &Concat{its: its}
-	for _, it := range its {
-		c.n += it.Len()
-	}
-	return c
+	return &Concat{its: its}
 }
 
 // Next advances; the iterator starts before the first entry.
 func (c *Concat) Next() bool {
+	if c.closed || c.err != nil {
+		return false
+	}
 	for c.pos < len(c.its) {
 		if c.its[c.pos].Next() {
 			return true
+		}
+		if err := c.its[c.pos].Err(); err != nil {
+			c.err = err
+			return false
 		}
 		c.pos++
 	}
@@ -104,8 +102,27 @@ func (c *Concat) Key() []byte { return c.its[c.pos].Key() }
 // Value returns the current value.
 func (c *Concat) Value() []byte { return c.its[c.pos].Value() }
 
-// Len reports the total number of entries in the snapshot.
-func (c *Concat) Len() int { return c.n }
+// Err returns the first error the scan encountered.
+func (c *Concat) Err() error { return c.err }
+
+// Close releases the per-shard iterators (and the owned snapshot when
+// DB.NewIterator created one). Idempotent; returns Err() like
+// lsm.Iterator.Close.
+func (c *Concat) Close() error {
+	if c.closed {
+		return c.err
+	}
+	c.closed = true
+	for _, it := range c.its {
+		if err := it.Close(); err != nil && c.err == nil {
+			c.err = err
+		}
+	}
+	if c.snap != nil {
+		c.snap.Close()
+	}
+	return c.err
+}
 
 // Merged is an ascending, globally sorted scan across shards whose key
 // ownership is scattered (hash partitioning), produced by a k-way heap
@@ -113,17 +130,21 @@ func (c *Concat) Len() int { return c.n }
 // one shard, so the merge needs no deduplication; ordering is by key
 // alone.
 type Merged struct {
-	h   iterHeap
-	cur *lsm.Iterator // source of the current entry; nil before first Next
-	n   int           // total entries across all shards
+	all    []*lsm.Iterator
+	h      iterHeap
+	cur    *lsm.Iterator // source of the current entry; nil before first Next
+	snap   *Snapshot     // owned single-use snapshot, nil otherwise
+	err    error
+	closed bool
 }
 
-func newMerged(its []*lsm.Iterator) *Merged {
-	out := &Merged{}
+func newMerged(its []*lsm.Iterator, owned *Snapshot) *Merged {
+	out := &Merged{all: its, snap: owned}
 	for _, it := range its {
-		out.n += it.Len()
 		if it.Next() {
 			out.h = append(out.h, it)
+		} else if err := it.Err(); err != nil && out.err == nil {
+			out.err = err
 		}
 	}
 	heap.Init(&out.h)
@@ -132,11 +153,18 @@ func newMerged(its []*lsm.Iterator) *Merged {
 
 // Next advances; the iterator starts before the first entry.
 func (it *Merged) Next() bool {
+	if it.closed || it.err != nil {
+		return false
+	}
 	if it.cur != nil {
 		// Re-admit the source we last yielded from, now at its next
 		// position (or retire it when exhausted).
 		if it.cur.Next() {
 			heap.Push(&it.h, it.cur)
+		} else if err := it.cur.Err(); err != nil {
+			it.err = err
+			it.cur = nil
+			return false
 		}
 		it.cur = nil
 	}
@@ -153,8 +181,26 @@ func (it *Merged) Key() []byte { return it.cur.Key() }
 // Value returns the current value.
 func (it *Merged) Value() []byte { return it.cur.Value() }
 
-// Len reports the total number of entries in the merged snapshot.
-func (it *Merged) Len() int { return it.n }
+// Err returns the first error the scan encountered.
+func (it *Merged) Err() error { return it.err }
+
+// Close releases the per-shard iterators (and the owned snapshot when
+// DB.NewIterator created one). Idempotent.
+func (it *Merged) Close() error {
+	if it.closed {
+		return it.err
+	}
+	it.closed = true
+	for _, in := range it.all {
+		if err := in.Close(); err != nil && it.err == nil {
+			it.err = err
+		}
+	}
+	if it.snap != nil {
+		it.snap.Close()
+	}
+	return it.err
+}
 
 // iterHeap is a min-heap of shard iterators ordered by current key.
 type iterHeap []*lsm.Iterator

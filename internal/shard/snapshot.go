@@ -1,0 +1,133 @@
+package shard
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/lsm"
+)
+
+// Snapshot is a pinned read view spanning every shard, taken at one
+// global instant: NewSnapshot quiesces cross-shard Apply batches (the
+// apply barrier) and then holds every shard's write lock simultaneously
+// while the per-shard sequence numbers are captured, so a multi-shard
+// batch is either entirely visible or entirely invisible — a scan can
+// never observe half of a cross-shard commit. Reads route exactly like
+// the live store: point lookups to the owning shard's pinned view,
+// scans planned by the partitioner's ownership query.
+//
+// Close releases every shard's pin; iterators opened from the snapshot
+// keep the underlying per-shard pins alive until they close.
+type Snapshot struct {
+	db    *DB
+	snaps []*lsm.Snapshot
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewSnapshot pins all shards at one global instant.
+func (db *DB) NewSnapshot() (*Snapshot, error) {
+	// The write half of the apply barrier: no cross-shard Apply is
+	// mid-fan-out while the captures run (Apply holds the read half for
+	// its whole fan-out), and the simultaneous per-shard write locks in
+	// lsm.NewSnapshots make the capture a single global instant.
+	db.applyMu.Lock()
+	snaps, err := lsm.NewSnapshots(db.shards)
+	db.applyMu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	db.openSnaps.Add(1)
+	return &Snapshot{db: db, snaps: snaps}, nil
+}
+
+// Get returns the value stored under key as of the snapshot, or
+// lsm.ErrNotFound; lsm.ErrSnapshotClosed after Close.
+func (s *Snapshot) Get(key []byte) ([]byte, error) {
+	return s.snaps[s.db.part.Partition(key, len(s.snaps))].Get(key)
+}
+
+// NewIterator returns a streaming scan of [start, limit) over the
+// snapshot's pinned views, planned like DB.NewIterator: one owning
+// shard yields that shard's iterator verbatim, contiguous slices are
+// concatenated, hashed ownership is merged by a k-way heap.
+func (s *Snapshot) NewIterator(start, limit []byte) (Iter, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, lsm.ErrSnapshotClosed
+	}
+	s.mu.Unlock()
+	idx, ordered := s.db.part.Ranges(start, limit, len(s.snaps))
+	return s.newIteratorPlanned(start, limit, idx, ordered, nil)
+}
+
+// newIteratorPlanned builds the iterator for an already-planned scan
+// (idx/ordered from the partitioner's Ranges); owned, when non-nil, is
+// a single-use snapshot the iterator must close with itself.
+func (s *Snapshot) newIteratorPlanned(start, limit []byte, idx []int, ordered bool, owned *Snapshot) (Iter, error) {
+	if len(idx) == 0 {
+		if owned != nil {
+			owned.Close()
+		}
+		return &Concat{}, nil
+	}
+	its := make([]*lsm.Iterator, len(idx))
+	errs := make([]error, len(idx))
+	var wg sync.WaitGroup
+	for j, i := range idx {
+		wg.Add(1)
+		go func(j, i int) {
+			defer wg.Done()
+			its[j], errs[j] = s.snaps[i].NewIterator(start, limit)
+		}(j, i)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		for _, it := range its {
+			if it != nil {
+				it.Close()
+			}
+		}
+		if owned != nil {
+			owned.Close()
+		}
+		return nil, err
+	}
+	if ordered {
+		if len(its) == 1 && owned == nil {
+			// Single-shard fast path: the scan is entirely one shard's,
+			// so its iterator is the scan — no wrapper at all. (A
+			// single-use snapshot still needs the wrapper to die with
+			// the iterator.)
+			return its[0], nil
+		}
+		return &Concat{its: its, snap: owned}, nil
+	}
+	return newMerged(its, owned), nil
+}
+
+// Close releases every shard's pin. Idempotent; open iterators stay
+// valid until they close.
+func (s *Snapshot) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.db.openSnaps.Add(-1)
+	var err error
+	for _, snap := range s.snaps {
+		if e := snap.Close(); err == nil {
+			err = e
+		}
+	}
+	return err
+}
+
+// OpenSnapshots reports the number of live (unclosed) store-level
+// snapshots.
+func (db *DB) OpenSnapshots() int { return int(db.openSnaps.Load()) }

@@ -95,17 +95,51 @@ func ShardMemFS() func(int) (vfs.FS, error) { return shard.MemFS() }
 // ShardDirs returns a ShardFS factory rooting shard i at dir/shard-NNN.
 func ShardDirs(dir string) func(int) (vfs.FS, error) { return shard.DirFS(dir) }
 
-// Iterator is an ascending point-in-time scan; see DB.NewIterator.
+// Iterator is an ascending, streaming point-in-time scan; see
+// DB.NewIterator and Snapshot.NewIterator. Entries are produced lazily
+// (nothing is materialized at creation); Close releases the underlying
+// snapshot pin and must be called.
+//
+// Usage: for it.Next() { it.Key(), it.Value() }; check Err, then Close.
 type Iterator interface {
 	// Next advances; the iterator starts before the first entry.
 	Next() bool
-	// Key returns the current key.
+	// Key returns the current key (valid until Close).
 	Key() []byte
-	// Value returns the current value.
+	// Value returns the current value (valid until Close).
 	Value() []byte
-	// Len reports the number of entries in the snapshot.
-	Len() int
+	// Err returns the first error the scan encountered (nil on clean
+	// exhaustion).
+	Err() error
+	// Close releases the scan's resources and snapshot pin. Idempotent;
+	// returns Err().
+	Close() error
 }
+
+// Snapshot is a pinned, point-in-time read view of the whole store; see
+// DB.NewSnapshot. Reads on it never observe later writes; on a sharded
+// store the view is captured at one global instant, so a cross-shard
+// Apply batch is either entirely visible or entirely invisible. A
+// snapshot pins memory and on-disk files until Close.
+type Snapshot struct {
+	get     func(key []byte) ([]byte, error)
+	newIter func(start, limit []byte) (Iterator, error)
+	close   func() error
+}
+
+// Get returns the value stored under key as of the snapshot, or
+// ErrNotFound; ErrSnapshotClosed after Close.
+func (s *Snapshot) Get(key []byte) ([]byte, error) { return s.get(key) }
+
+// NewIterator returns a streaming scan of [start, limit) (nil bounds
+// are unbounded) over the snapshot's frozen view. Iterators opened
+// before Close stay valid until they close.
+func (s *Snapshot) NewIterator(start, limit []byte) (Iterator, error) {
+	return s.newIter(start, limit)
+}
+
+// Close releases the snapshot's pin. Idempotent.
+func (s *Snapshot) Close() error { return s.close() }
 
 // engine is the surface shared by the single-instance and sharded
 // backends (*lsm.DB and *shard.DB).
@@ -119,6 +153,7 @@ type engine interface {
 	CacheStats() (hits, misses int64)
 	Metrics() metrics.Snapshot
 	NumLevelFiles() []int
+	OpenSnapshots() int
 	Close() error
 }
 
@@ -126,10 +161,14 @@ type engine interface {
 type DB struct {
 	inner   engine
 	newIter func(start, limit []byte) (Iterator, error)
+	newSnap func() (*Snapshot, error)
 }
 
 // ErrNotFound is returned by Get for absent or deleted keys.
 var ErrNotFound = lsm.ErrNotFound
+
+// ErrSnapshotClosed is returned by reads on a Snapshot after Close.
+var ErrSnapshotClosed = lsm.ErrSnapshotClosed
 
 // Open opens or creates a store. An existing store recovers its tree from
 // the manifest and replays the commit log (each shard independently when
@@ -185,7 +224,8 @@ func Open(o Options) (*DB, error) {
 		}
 		return &DB{
 			inner:   inner,
-			newIter: func(start, limit []byte) (Iterator, error) { return inner.NewIterator(start, limit) },
+			newIter: wrapIter(inner.NewIterator),
+			newSnap: wrapSnap(inner.NewSnapshot, (*shard.Snapshot).NewIterator),
 		}, nil
 	}
 	inner, err := lsm.Open(opts)
@@ -194,8 +234,46 @@ func Open(o Options) (*DB, error) {
 	}
 	return &DB{
 		inner:   inner,
-		newIter: func(start, limit []byte) (Iterator, error) { return inner.NewIterator(start, limit) },
+		newIter: wrapIter(inner.NewIterator),
+		newSnap: wrapSnap(inner.NewSnapshot, (*lsm.Snapshot).NewIterator),
 	}, nil
+}
+
+// wrapIter adapts a backend's concrete iterator constructor to the
+// public Iterator interface. The error path must return an explicit
+// nil: boxing a typed-nil concrete iterator would pass callers'
+// `it != nil` checks and panic on use.
+func wrapIter[I Iterator](newIter func(start, limit []byte) (I, error)) func(start, limit []byte) (Iterator, error) {
+	return func(start, limit []byte) (Iterator, error) {
+		it, err := newIter(start, limit)
+		if err != nil {
+			return nil, err
+		}
+		return it, nil
+	}
+}
+
+// wrapSnap adapts a backend's snapshot constructor (and its iterator
+// method) to the public Snapshot wrapper — shared by the sharded and
+// unsharded backends, whose snapshot APIs are structurally identical
+// but nominally distinct types.
+func wrapSnap[S interface {
+	Get(key []byte) ([]byte, error)
+	Close() error
+}, I Iterator](newSnap func() (S, error), newIter func(S, []byte, []byte) (I, error)) func() (*Snapshot, error) {
+	return func() (*Snapshot, error) {
+		s, err := newSnap()
+		if err != nil {
+			return nil, err
+		}
+		return &Snapshot{
+			get: s.Get,
+			newIter: wrapIter(func(start, limit []byte) (I, error) {
+				return newIter(s, start, limit)
+			}),
+			close: s.Close,
+		}, nil
+	}
 }
 
 // partitioner maps the string-typed Options knobs onto a shard-layer
@@ -228,12 +306,26 @@ func (db *DB) Get(key []byte) ([]byte, error) { return db.inner.Get(key) }
 // Delete removes key.
 func (db *DB) Delete(key []byte) error { return db.inner.Delete(key) }
 
-// NewIterator returns an ascending point-in-time scan of [start, limit);
-// nil bounds are unbounded. On a sharded store the per-shard snapshots
-// are merged into one globally sorted stream.
+// NewIterator returns an ascending, streaming point-in-time scan of
+// [start, limit); nil bounds are unbounded. It is sugar for a
+// single-use snapshot iterator: the snapshot is taken now and released
+// by Close. On a sharded store the per-shard views are merged into one
+// globally sorted stream; a scan spanning several shards is pinned at
+// one global instant (see NewSnapshot).
 func (db *DB) NewIterator(start, limit []byte) (Iterator, error) {
 	return db.newIter(start, limit)
 }
+
+// NewSnapshot pins the store's current state as a frozen read view.
+// Reads through the snapshot ignore all later writes; background
+// flushes and compactions keep running, but the files the snapshot
+// reads survive until it closes. The snapshot must be Closed.
+func (db *DB) NewSnapshot() (*Snapshot, error) { return db.newSnap() }
+
+// OpenSnapshots reports the number of live (unclosed) snapshots
+// (observability; includes the single-use snapshots of open iterators
+// on unsharded stores).
+func (db *DB) OpenSnapshots() int { return db.inner.OpenSnapshots() }
 
 // Flush forces the memtable to disk and waits for it.
 func (db *DB) Flush() error { return db.inner.Flush() }

@@ -104,8 +104,15 @@ func TestOpenRangePartitioned(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n := it.Len(); n != 1 {
-		t.Fatalf("bounded scan Len = %d, want 1", n)
+	n := 0
+	for it.Next() {
+		n++
+	}
+	if err := it.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("bounded scan saw %d entries, want 1", n)
 	}
 	if err := db.Close(); err != nil {
 		t.Fatal(err)

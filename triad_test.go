@@ -106,8 +106,99 @@ func TestPublicAPIIterator(t *testing.T) {
 	for it.Next() {
 		n++
 	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := it.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := it.Close(); err != nil {
+		t.Fatal("second Close:", err)
+	}
 	if n != 10 {
 		t.Fatalf("scan = %d entries, want 10", n)
+	}
+}
+
+// TestPublicAPISnapshot exercises the snapshot surface on both the
+// unsharded and sharded backends: frozen Get and scan, ErrSnapshotClosed
+// after Close, and the open-snapshot gauge.
+func TestPublicAPISnapshot(t *testing.T) {
+	open := func(sharded bool) (*DB, error) {
+		if sharded {
+			return Open(Options{Shards: 4, ShardFS: ShardMemFS()})
+		}
+		return Open(Options{FS: vfs.NewMemFS()})
+	}
+	for _, sharded := range []bool{false, true} {
+		t.Run(fmt.Sprintf("sharded=%v", sharded), func(t *testing.T) {
+			db, err := open(sharded)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db.Close()
+			for i := 0; i < 200; i++ {
+				if err := db.Put([]byte(fmt.Sprintf("k%03d", i)), []byte("v1")); err != nil {
+					t.Fatal(err)
+				}
+			}
+			snap, err := db.NewSnapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if db.OpenSnapshots() == 0 {
+				t.Fatal("OpenSnapshots = 0 with a live snapshot")
+			}
+			var b Batch
+			for i := 0; i < 200; i++ {
+				b.Put([]byte(fmt.Sprintf("k%03d", i)), []byte("v2"))
+			}
+			b.Put([]byte("k999"), []byte("new"))
+			if err := db.Apply(&b); err != nil {
+				t.Fatal(err)
+			}
+			if v, err := snap.Get([]byte("k050")); err != nil || string(v) != "v1" {
+				t.Fatalf("snapshot Get = %q, %v; want v1", v, err)
+			}
+			if _, err := snap.Get([]byte("k999")); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("snapshot sees post-pin key: %v", err)
+			}
+			if v, err := db.Get([]byte("k050")); err != nil || string(v) != "v2" {
+				t.Fatalf("live Get = %q, %v; want v2", v, err)
+			}
+			it, err := snap.NewIterator(nil, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := 0
+			for it.Next() {
+				if string(it.Value()) != "v1" {
+					t.Fatalf("snapshot scan: %q = %q, want v1", it.Key(), it.Value())
+				}
+				n++
+			}
+			if err := it.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if n != 200 {
+				t.Fatalf("snapshot scan saw %d entries, want 200", n)
+			}
+			if err := snap.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if err := snap.Close(); err != nil {
+				t.Fatal("second Close:", err)
+			}
+			if _, err := snap.Get([]byte("k050")); !errors.Is(err, ErrSnapshotClosed) {
+				t.Fatalf("Get after Close = %v, want ErrSnapshotClosed", err)
+			}
+			if _, err := snap.NewIterator(nil, nil); !errors.Is(err, ErrSnapshotClosed) {
+				t.Fatalf("NewIterator after Close = %v, want ErrSnapshotClosed", err)
+			}
+			if db.OpenSnapshots() != 0 {
+				t.Fatalf("OpenSnapshots = %d after Close", db.OpenSnapshots())
+			}
+		})
 	}
 }
 
