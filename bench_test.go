@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -518,6 +519,141 @@ func BenchmarkNetThroughput(b *testing.B) {
 		b.ReportMetric(on.KOPS/off.KOPS, "gain")
 		b.ReportMetric(float64(on.P99.Nanoseconds())/1000, "gc_p99_us")
 	}
+}
+
+// BenchmarkCommitPipeline measures the store-wide commit pipeline under
+// contention. apply/cross-w4 drives four goroutines issuing conflicting
+// cross-shard batches (every batch writes the same key set spanning all
+// shards) — the workload the epoch clock serializes. snapshot/idle is
+// the raw capture cost of shard.DB.NewSnapshot; snapshot/under-load
+// takes snapshots while the same conflicting writers run, which is the
+// barrier cost the epoch pin replaced (formerly: quiesce cross-shard
+// Applies and hold every shard's write lock at once).
+func BenchmarkCommitPipeline(b *testing.B) {
+	const shards = 4
+	openStore := func(b *testing.B) *shard.DB {
+		s := benchScale()
+		db, err := shard.Open(shard.Options{
+			Shards: shards,
+			Engine: shard.DivideBudgets(benchShardEngine(s), shards),
+			NewFS:  shard.MemFS(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return db
+	}
+	// conflictKeys spans every shard so each batch is a cross-shard
+	// conflict with every other batch.
+	conflictKeys := func(db *shard.DB) [][]byte {
+		var keys [][]byte
+		seen := make(map[int]bool)
+		for i := 0; len(keys) < 4*shards; i++ {
+			k := []byte(fmt.Sprintf("conflict-%04d", i))
+			seen[db.Partitioner().Partition(k, shards)] = true
+			keys = append(keys, k)
+		}
+		if len(seen) != shards {
+			b.Fatal("conflict keys do not span all shards")
+		}
+		return keys
+	}
+	val := []byte("0123456789abcdef0123456789abcdef")
+	b.Run("apply/cross-w4", func(b *testing.B) {
+		db := openStore(b)
+		defer db.Close()
+		keys := conflictKeys(db)
+		// Exactly 4 writers regardless of GOMAXPROCS (RunParallel would
+		// scale with the machine and the w4 label would lie); b.N is
+		// split across them.
+		const writers = 4
+		b.ResetTimer()
+		var wg sync.WaitGroup
+		for w := 0; w < writers; w++ {
+			n := b.N / writers
+			if w < b.N%writers {
+				n++
+			}
+			wg.Add(1)
+			go func(n int) {
+				defer wg.Done()
+				for i := 0; i < n; i++ {
+					batch := &shard.Batch{}
+					for _, k := range keys {
+						batch.Put(k, val)
+					}
+					if err := db.Apply(batch); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}(n)
+		}
+		wg.Wait()
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "batches/s")
+		b.ReportMetric(float64(b.N*len(keys))/b.Elapsed().Seconds()/1000, "kops")
+	})
+	b.Run("snapshot/idle", func(b *testing.B) {
+		db := openStore(b)
+		defer db.Close()
+		for i := 0; i < 10_000; i++ {
+			if err := db.Put([]byte(fmt.Sprintf("k%06d", i)), val); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s, err := db.NewSnapshot()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := s.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("snapshot/under-load", func(b *testing.B) {
+		db := openStore(b)
+		defer db.Close()
+		keys := conflictKeys(db)
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					batch := &shard.Batch{}
+					for _, k := range keys {
+						batch.Put(k, val)
+					}
+					if err := db.Apply(batch); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}()
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s, err := db.NewSnapshot()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := s.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		close(stop)
+		wg.Wait()
+	})
 }
 
 // --- Micro-benchmarks for the public API ---

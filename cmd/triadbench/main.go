@@ -7,7 +7,7 @@
 //	triadbench -experiment all -scale full  # everything, paper-like scale
 //
 // Experiments: fig2, fig7, fig8, fig9a, fig9b (includes 9c), fig9d,
-// fig10, fig11, shardscale, scanlocal, net, all.
+// fig10, fig11, shardscale, scanlocal, conflict, net, all.
 //
 // -shards N (N > 1) runs every figure against the sharded engine (N lsm
 // instances at the same aggregate memory); the shardscale experiment
@@ -29,7 +29,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("experiment", "all", "which figure to regenerate: fig2|fig7|fig8|fig9a|fig9b|fig9c|fig9d|fig10|fig11|fig10dev|sizetiered|shardscale|scanlocal|net|all")
+		exp     = flag.String("experiment", "all", "which figure to regenerate: fig2|fig7|fig8|fig9a|fig9b|fig9c|fig9d|fig10|fig11|fig10dev|sizetiered|shardscale|scanlocal|conflict|net|all")
 		scale   = flag.String("scale", "quick", "quick (seconds per figure) or full (paper-like sizes)")
 		keys    = flag.Uint64("keys", 0, "override synthetic key-space size")
 		ops     = flag.Int64("ops", 0, "override timed operation count per run")
@@ -138,6 +138,17 @@ func main() {
 			n = 4
 		}
 		run("scanlocal", func() error { _, err := harness.ScanLocality(s, n, os.Stdout); return err })
+	}
+	if want("conflict") {
+		any = true
+		// Contended cross-shard commits: conflicting Apply batches from
+		// 1..8 writers, serialized by the epoch commit pipeline, with a
+		// concurrent snapshotter measuring capture latency under load.
+		n := *shards
+		if n < 2 {
+			n = 4
+		}
+		run("conflict", func() error { _, err := harness.Conflict(s, n, os.Stdout); return err })
 	}
 	if want("net") {
 		any = true

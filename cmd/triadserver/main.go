@@ -17,7 +17,8 @@
 //	redis-cli -p 6379 GET user:1
 //
 // Group commit coalesces writes from all connections into shard-split
-// batches; tune with -commit-delay / -commit-ops / -commit-bytes, or
+// batches; tune with -commit-delay / -commit-ops / -commit-bytes /
+// -commit-pipeline, or
 // compare against one-Apply-per-command with -no-group-commit.
 //
 // SIGINT/SIGTERM drain gracefully: stop accepting, finish in-flight
@@ -65,6 +66,7 @@ func run(args []string, stdout, stderr io.Writer, ready func(addr string)) int {
 		commitDelay = fs.Duration("commit-delay", 0, "hold each write group open this long before committing (0: commit as soon as the committer is free)")
 		commitOps   = fs.Int("commit-ops", 4096, "commit the pending group at this many operations")
 		commitBytes = fs.Int64("commit-bytes", 1<<20, "commit the pending group at this many payload bytes")
+		commitPipe  = fs.Int("commit-pipeline", 4, "sealed write groups applying concurrently (epoch order keeps them serialized; 1 = one apply at a time)")
 		metricsAddr = fs.String("metrics", "", "HTTP listen address for the plain-text /metrics and /stats dump (empty: disabled)")
 		cursorTTL   = fs.Duration("cursor-ttl", 60*time.Second, "close idle SCAN cursors (and release their pinned snapshots) after this long")
 		maxCursors  = fs.Int("max-cursors", 16, "cap on open SCAN cursors per connection")
@@ -84,6 +86,7 @@ func run(args []string, stdout, stderr io.Writer, ready func(addr string)) int {
 		CommitDelay:        *commitDelay,
 		CommitMaxOps:       *commitOps,
 		CommitMaxBytes:     *commitBytes,
+		CommitPipeline:     *commitPipe,
 		CursorTTL:          *cursorTTL,
 		MaxCursorsPerConn:  *maxCursors,
 		Logf: func(format string, a ...any) {

@@ -21,8 +21,10 @@
 package client
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"time"
@@ -43,11 +45,26 @@ var ErrPoolClosed = errors.New("client: pool closed")
 // Pool to share connections across goroutines.
 type Conn struct {
 	nc net.Conn
+	cr *countingReader // wraps nc so retries can tell whether reply bytes arrived
 	r  *resp.Reader
 	w  *resp.Writer
 	// inflight counts sent-but-unreceived commands, to catch misuse.
 	inflight int
 	broken   bool // protocol or I/O error: the stream can no longer be trusted
+}
+
+// countingReader counts the bytes pulled off the wire, so a failed
+// reply read can prove no byte of the reply was consumed (making one
+// retry safe — the stream is still in sync).
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
 }
 
 // Dial connects to a triadserver at addr.
@@ -66,7 +83,8 @@ func DialTimeout(addr string, d time.Duration) (*Conn, error) {
 
 // NewConn wraps an established connection (tests use net.Pipe).
 func NewConn(nc net.Conn) *Conn {
-	return &Conn{nc: nc, r: resp.NewReader(nc), w: resp.NewWriter(nc)}
+	cr := &countingReader{r: nc}
+	return &Conn{nc: nc, cr: cr, r: resp.NewReader(cr), w: resp.NewWriter(nc)}
 }
 
 // Close closes the connection.
@@ -221,16 +239,97 @@ func (c *Conn) ScanOpen(start, limit []byte, count int) (cursor string, keys, va
 // ScanCont fetches the next page of an open cursor. The returned cursor
 // is DoneCursor once the scan is exhausted (the server has already
 // released it).
+//
+// Unlike the other helpers, ScanCont retries its Flush and Receive once
+// on a transient connection error (a timeout): abandoning a ScanCont
+// midway strands the server-side cursor — and the snapshot it pins —
+// until the idle TTL reaps it, so one retry is worth the wire cost. The
+// retry never desynchronizes the pipeline: a failed command write
+// resumes from the exact byte offset already sent, and a failed reply
+// read is retried only when provably no reply byte had been consumed.
 func (c *Conn) ScanCont(cursor string, count int) (next string, keys, vals [][]byte, err error) {
-	args := [][]byte{[]byte("CONT"), []byte(cursor)}
+	args := [][]byte{[]byte("SCAN"), []byte("CONT"), []byte(cursor)}
 	if count > 0 {
 		args = append(args, []byte(fmt.Sprint(count)))
 	}
-	v, err := c.Do("SCAN", args...)
+	v, err := c.doRetryOnce(args)
 	if err != nil {
 		return "", nil, nil, err
 	}
 	return c.parseScanReply(v)
+}
+
+// isTransient reports whether err is a transient connection error — a
+// timeout — after which the connection may still be intact.
+func isTransient(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// retryGrace is the deadline extension granted to a ScanCont retry. A
+// timeout usually means the caller's deadline on the net.Conn has
+// already passed, and an expired deadline fails every subsequent I/O
+// instantly — so without re-arming it, a retry could never succeed.
+const retryGrace = 2 * time.Second
+
+// rearm pushes the expired deadline forward by retryGrace so the retry
+// gets a real chance. Callers that manage deadlines set them per
+// operation, so granting one bounded grace window here does not disturb
+// their discipline; connections with no deadline support ignore the
+// error.
+func (c *Conn) rearm() {
+	_ = c.nc.SetDeadline(time.Now().Add(retryGrace))
+}
+
+// doRetryOnce issues one command like Do, but retries the flush and the
+// receive once each on a transient error. The command is encoded into a
+// standalone buffer and written directly to the connection: unlike a
+// buffered-writer Flush (whose error is sticky), a plain write can
+// resume from the offset it reached, so the retry cannot duplicate or
+// tear the command on the wire.
+func (c *Conn) doRetryOnce(args [][]byte) (resp.Value, error) {
+	if c.inflight != 0 {
+		return resp.Value{}, fmt.Errorf("client: command with %d replies outstanding (finish the pipeline first)", c.inflight)
+	}
+	var buf bytes.Buffer
+	bw := resp.NewWriter(&buf)
+	bw.WriteCommand(args...)
+	if err := bw.Flush(); err != nil { // unreachable on a bytes.Buffer
+		return resp.Value{}, err
+	}
+	data := buf.Bytes()
+	for sent, attempt := 0, 0; sent < len(data); attempt++ {
+		n, err := c.nc.Write(data[sent:])
+		sent += n
+		if err != nil {
+			if attempt == 0 && isTransient(err) {
+				c.rearm()
+				continue
+			}
+			c.broken = true
+			return resp.Value{}, err
+		}
+	}
+	for attempt := 0; ; attempt++ {
+		pulled := c.cr.n
+		buffered := c.r.Buffered()
+		v, err := c.r.ReadReply()
+		if err == nil {
+			if v.IsError() {
+				return v, ServerError(v.Str)
+			}
+			return v, nil
+		}
+		// Safe to retry only when the reply hadn't started arriving: no
+		// byte was buffered before the read and none was pulled off the
+		// wire during it — the failed read consumed nothing.
+		if attempt == 0 && isTransient(err) && buffered == 0 && c.cr.n == pulled {
+			c.rearm()
+			continue
+		}
+		c.broken = true
+		return resp.Value{}, err
+	}
 }
 
 // ScanClose releases an open cursor and its pinned snapshot.

@@ -1,0 +1,257 @@
+package client
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/resp"
+)
+
+// timeoutErr is a fake transient (timeout) network error.
+type timeoutErr struct{}
+
+func (timeoutErr) Error() string   { return "fake i/o timeout" }
+func (timeoutErr) Timeout() bool   { return true }
+func (timeoutErr) Temporary() bool { return true }
+
+// flaky wraps a net.Conn and injects scripted failures: a partial write
+// followed by errWrite, a zero-byte read failing with errRead, or a
+// one-byte read failing with errReadMid (a reply torn mid-arrival).
+type flaky struct {
+	net.Conn
+	mu         sync.Mutex
+	errWrite   error // fail the next Write after sending half
+	errRead    error // fail the next Read before any byte
+	errReadMid error // fail the next Read after delivering one byte
+}
+
+func (f *flaky) Write(p []byte) (int, error) {
+	f.mu.Lock()
+	inject := f.errWrite
+	f.errWrite = nil
+	f.mu.Unlock()
+	if inject != nil {
+		n, err := f.Conn.Write(p[:len(p)/2])
+		if err != nil {
+			return n, err
+		}
+		return n, inject
+	}
+	return f.Conn.Write(p)
+}
+
+func (f *flaky) Read(p []byte) (int, error) {
+	f.mu.Lock()
+	zero, mid := f.errRead, f.errReadMid
+	f.errRead = nil
+	if zero == nil {
+		f.errReadMid = nil
+	}
+	f.mu.Unlock()
+	if zero != nil {
+		return 0, zero
+	}
+	if mid != nil {
+		n, err := f.Conn.Read(p[:1])
+		if err != nil {
+			return n, err
+		}
+		return n, mid
+	}
+	return f.Conn.Read(p)
+}
+
+// scanContServer answers every received command with a one-pair SCAN
+// reply carrying cursor id — enough protocol for the retry tests.
+func scanContServer(t *testing.T, nc net.Conn, cursor string) {
+	t.Helper()
+	go func() {
+		r := resp.NewReader(nc)
+		w := resp.NewWriter(nc)
+		for {
+			if _, err := r.ReadCommand(); err != nil {
+				return
+			}
+			w.WriteValue(resp.Array(
+				resp.Bulk([]byte(cursor)),
+				resp.Bulk([]byte("k1")), resp.Bulk([]byte("v1")),
+			))
+			if w.Flush() != nil {
+				return
+			}
+		}
+	}()
+}
+
+// TestScanContRetriesTransientFlush: a timeout partway through sending
+// the SCAN CONT command is retried from the byte offset reached — the
+// cursor is not abandoned and the connection stays healthy.
+func TestScanContRetriesTransientFlush(t *testing.T) {
+	cli, srv := net.Pipe()
+	defer srv.Close()
+	f := &flaky{Conn: cli}
+	c := NewConn(f)
+	defer c.Close()
+	scanContServer(t, srv, "c7")
+
+	f.mu.Lock()
+	f.errWrite = timeoutErr{}
+	f.mu.Unlock()
+	next, keys, vals, err := c.ScanCont("c7", 10)
+	if err != nil {
+		t.Fatalf("ScanCont with transient flush error = %v, want retried success", err)
+	}
+	if next != "c7" || len(keys) != 1 || string(keys[0]) != "k1" || string(vals[0]) != "v1" {
+		t.Fatalf("ScanCont = %q, %q, %q", next, keys, vals)
+	}
+	if c.broken {
+		t.Fatal("connection marked broken after successful retry")
+	}
+}
+
+// TestScanContRetriesTransientReceive: a timeout while waiting for the
+// reply (no byte arrived yet) is retried once.
+func TestScanContRetriesTransientReceive(t *testing.T) {
+	cli, srv := net.Pipe()
+	defer srv.Close()
+	f := &flaky{Conn: cli}
+	c := NewConn(f)
+	defer c.Close()
+	scanContServer(t, srv, "c7")
+
+	f.mu.Lock()
+	f.errRead = timeoutErr{}
+	f.mu.Unlock()
+	next, keys, _, err := c.ScanCont("c7", 10)
+	if err != nil {
+		t.Fatalf("ScanCont with transient receive error = %v, want retried success", err)
+	}
+	if next != "c7" || len(keys) != 1 {
+		t.Fatalf("ScanCont = %q, %d keys", next, len(keys))
+	}
+	if c.broken {
+		t.Fatal("connection marked broken after successful retry")
+	}
+}
+
+// TestScanContNoRetryMidReply: a timeout after reply bytes started
+// arriving must NOT be retried — the stream is desynchronized, and a
+// blind second read would misparse from the middle of the torn reply.
+func TestScanContNoRetryMidReply(t *testing.T) {
+	cli, srv := net.Pipe()
+	defer srv.Close()
+	f := &flaky{Conn: cli}
+	c := NewConn(f)
+	defer c.Close()
+	scanContServer(t, srv, "c7")
+
+	f.mu.Lock()
+	f.errReadMid = timeoutErr{}
+	f.mu.Unlock()
+	_, _, _, err := c.ScanCont("c7", 10)
+	var ne net.Error
+	if err == nil || !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("ScanCont with mid-reply timeout = %v, want the timeout surfaced", err)
+	}
+	if !c.broken {
+		t.Fatal("connection not marked broken after unretriable failure")
+	}
+}
+
+// TestScanContNoRetryPermanent: a non-transient error fails immediately
+// (no retry) and breaks the connection.
+func TestScanContNoRetryPermanent(t *testing.T) {
+	cli, srv := net.Pipe()
+	defer srv.Close()
+	f := &flaky{Conn: cli}
+	c := NewConn(f)
+	defer c.Close()
+	scanContServer(t, srv, "c7")
+
+	boom := errors.New("connection reset by peer")
+	f.mu.Lock()
+	f.errRead = boom
+	f.mu.Unlock()
+	if _, _, _, err := c.ScanCont("c7", 10); !errors.Is(err, boom) {
+		t.Fatalf("ScanCont with permanent error = %v, want %v", err, boom)
+	}
+	if !c.broken {
+		t.Fatal("connection not marked broken after permanent failure")
+	}
+}
+
+// TestScanContRetriesExpiredDeadline uses a real expired deadline — no
+// fake error injection. Once a net.Conn deadline has passed, every I/O
+// fails instantly with a timeout, so a naive retry loop could never
+// succeed; the retry must re-arm the deadline first. The command bytes
+// are written before the deadline expires (net.Pipe is synchronous, so
+// an expired write deadline would never get them out), then the reply
+// read times out for real and the retry must recover.
+func TestScanContRetriesExpiredDeadline(t *testing.T) {
+	cli, srv := net.Pipe()
+	defer srv.Close()
+	c := NewConn(cli)
+	defer c.Close()
+
+	// A slow server: reads the command, then replies only after a
+	// delay longer than the remaining deadline.
+	go func() {
+		r := resp.NewReader(srv)
+		w := resp.NewWriter(srv)
+		if _, err := r.ReadCommand(); err != nil {
+			return
+		}
+		time.Sleep(100 * time.Millisecond)
+		w.WriteValue(resp.Array(
+			resp.Bulk([]byte("c9")),
+			resp.Bulk([]byte("k1")), resp.Bulk([]byte("v1")),
+		))
+		w.Flush()
+	}()
+
+	if err := cli.SetReadDeadline(time.Now().Add(20 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	next, keys, _, err := c.ScanCont("c9", 10)
+	if err != nil {
+		t.Fatalf("ScanCont across an expired deadline = %v, want re-armed retry success", err)
+	}
+	if next != "c9" || len(keys) != 1 {
+		t.Fatalf("ScanCont = %q, %d keys", next, len(keys))
+	}
+	if c.broken {
+		t.Fatal("connection marked broken after successful retry")
+	}
+}
+
+// TestScanContStillTalksToRealServer guards the happy path: the retry
+// plumbing speaks byte-identical protocol to the plain Do it replaced
+// (the flaky wrapper idle, nothing injected).
+func TestScanContStillTalksToRealServer(t *testing.T) {
+	cli, srv := net.Pipe()
+	defer srv.Close()
+	c := NewConn(cli)
+	defer c.Close()
+	scanContServer(t, srv, DoneCursor)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		next, keys, vals, err := c.ScanCont("c3", 5)
+		if err != nil {
+			t.Errorf("ScanCont: %v", err)
+			return
+		}
+		if next != DoneCursor || len(keys) != 1 || string(vals[0]) != "v1" {
+			t.Errorf("ScanCont = %q, %q, %q", next, keys, vals)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("ScanCont hung")
+	}
+}

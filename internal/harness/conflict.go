@@ -1,0 +1,158 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/histogram"
+	"repro/internal/shard"
+)
+
+// Conflict is the contended-commit experiment (not a paper figure; the
+// commit-pipeline extension). W concurrent writers Apply fully
+// conflicting cross-shard batches — every batch writes the same key
+// set, which spans all shards — so every commit races every other on
+// every shard. The store clock serializes them: per shard, sub-batches
+// commit in epoch-ticket order, which is exactly the path this
+// experiment stresses. A background snapshotter runs throughout,
+// measuring what a consistent cross-shard capture costs while the
+// pipeline is saturated (it pins an epoch and rides the same ticket
+// queues; before the clock, it had to freeze every shard's write lock
+// behind a global barrier).
+//
+// The table reports, per writer count: committed batches/s, the
+// derived key-write throughput, commit latency p50/p99, and the mean
+// snapshot-capture latency under that load.
+func Conflict(s Scale, shards int, w io.Writer) ([]Cell, error) {
+	if shards < 2 {
+		shards = 4
+	}
+	const keysPerBatch = 16
+	writerCounts := []int{1, 2, 4, 8}
+
+	var cells []Cell
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "Conflicting cross-shard commits: %d shards, every batch writes the same %d keys (all shards)\n",
+		shards, keysPerBatch)
+	fmt.Fprintln(tw, "writers\tbatches/s\tKOPS\tp50\tp99\tsnap mean")
+	for _, writers := range writerCounts {
+		res, snapMean, err := runConflict(s, shards, writers, keysPerBatch)
+		if err != nil {
+			return nil, fmt.Errorf("conflict w=%d: %w", writers, err)
+		}
+		cells = append(cells, Cell{Label: fmt.Sprintf("conflict w=%d", writers), Res: res})
+		fmt.Fprintf(tw, "%d\t%.0f\t%.1f\t%s\t%s\t%s\n",
+			writers, float64(res.Ops)/res.Elapsed.Seconds()/float64(keysPerBatch),
+			res.KOPS, res.P50, res.P99, snapMean)
+	}
+	return cells, tw.Flush()
+}
+
+// runConflict measures one writer count.
+func runConflict(s Scale, shards, writers, keysPerBatch int) (Result, time.Duration, error) {
+	db, err := shard.Open(shard.Options{
+		Shards: shards,
+		Engine: shard.DivideBudgets(s.engine("triad"), shards),
+		NewFS:  shard.MemFS(),
+	})
+	if err != nil {
+		return Result{}, 0, err
+	}
+	defer db.Close()
+
+	keys := make([][]byte, keysPerBatch)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("conflict-%05d", i))
+	}
+	val := make([]byte, 128)
+
+	batchesPerWriter := s.Ops / int64(writers) / int64(keysPerBatch)
+	if batchesPerWriter < 50 {
+		batchesPerWriter = 50
+	}
+
+	stop := make(chan struct{})
+	errCh := make(chan error, writers+1)
+	var snapWG sync.WaitGroup
+	var snapTotal time.Duration
+	var snapN int64
+	snapWG.Add(1)
+	go func() {
+		defer snapWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			t0 := time.Now()
+			snap, err := db.NewSnapshot()
+			if err != nil {
+				// Surface it like a writer failure: a broken snapshot
+				// path must fail the experiment, not zero its column.
+				errCh <- fmt.Errorf("snapshot under load: %w", err)
+				return
+			}
+			snapTotal += time.Since(t0)
+			snapN++
+			snap.Close()
+		}
+	}()
+
+	hists := make([]*histogram.H, writers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < writers; w++ {
+		hists[w] = &histogram.H{}
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := hists[w]
+			for i := int64(0); i < batchesPerWriter; i++ {
+				b := &shard.Batch{}
+				for _, k := range keys {
+					b.Put(k, val)
+				}
+				t0 := time.Now()
+				if err := db.Apply(b); err != nil {
+					errCh <- err
+					return
+				}
+				h.Record(time.Since(t0))
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(stop)
+	snapWG.Wait()
+	select {
+	case err := <-errCh:
+		return Result{}, 0, err
+	default:
+	}
+
+	totalBatches := batchesPerWriter * int64(writers)
+	totalOps := totalBatches * int64(keysPerBatch)
+	res := Result{
+		Name:    fmt.Sprintf("conflict w=%d", writers),
+		Threads: writers,
+		Ops:     totalOps,
+		Elapsed: elapsed,
+		KOPS:    float64(totalOps) / elapsed.Seconds() / 1000,
+	}
+	for _, h := range hists {
+		res.Lat.Merge(h)
+	}
+	res.P50 = res.Lat.Quantile(0.50)
+	res.P99 = res.Lat.Quantile(0.99)
+	res.P999 = res.Lat.Quantile(0.999)
+	var snapMean time.Duration
+	if snapN > 0 {
+		snapMean = snapTotal / time.Duration(snapN)
+	}
+	return res, snapMean, nil
+}

@@ -1,0 +1,29 @@
+package harness
+
+import (
+	"io"
+	"testing"
+)
+
+// TestConflictSmoke runs the contended-commit experiment at a tiny
+// scale: it must complete, report one cell per writer count, and show
+// nonzero throughput and snapshot activity.
+func TestConflictSmoke(t *testing.T) {
+	s := QuickScale()
+	s.Ops = 8_000
+	cells, err := Conflict(s, 4, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 4 {
+		t.Fatalf("got %d cells, want 4", len(cells))
+	}
+	for _, c := range cells {
+		if c.Res.KOPS <= 0 {
+			t.Errorf("%s: KOPS = %v, want > 0", c.Label, c.Res.KOPS)
+		}
+		if c.Res.Ops == 0 || c.Res.P99 == 0 {
+			t.Errorf("%s: missing ops/latency (ops=%d p99=%v)", c.Label, c.Res.Ops, c.Res.P99)
+		}
+	}
+}

@@ -2,16 +2,17 @@ package lsm
 
 import (
 	"errors"
+	"fmt"
 
 	"repro/internal/base"
 )
 
 // Batch collects writes to be applied together. Application is atomic
-// with respect to concurrent readers and writers (all records receive
-// consecutive sequence numbers under one critical section). Recovery
-// atomicity follows WAL semantics: only a torn tail — the final records
-// of the log — can be lost, so a crash can truncate the batch's suffix
-// but never interleave it with other writes.
+// with respect to concurrent readers and writers (all records commit at
+// one sequence number under one critical section). Recovery atomicity
+// follows WAL semantics: only a torn tail — the final records of the
+// log — can be lost, so a crash can truncate the batch's suffix but
+// never interleave it with other writes.
 type Batch struct {
 	ops       []base.Entry
 	byteSize  int64
@@ -74,15 +75,47 @@ func (b *Batch) Committed() bool { return b.committed }
 // then marks the original).
 func (b *Batch) MarkCommitted() { b.committed = true }
 
-// Apply commits the batch. The batch may be Reset and reused afterwards.
-func (db *DB) Apply(b *Batch) error {
+// prepare is the validation stage of the commit pipeline: the batch
+// must not already be committed and every key must be non-empty. It
+// touches no engine state, so it runs before any lock or sequence is
+// taken.
+func (b *Batch) prepare() error {
 	if b.committed {
 		return errors.New("lsm: batch already applied (Reset to reuse)")
 	}
-	for _, e := range b.ops {
-		if len(e.Key) == 0 {
+	for i := range b.ops {
+		if len(b.ops[i].Key) == 0 {
 			return errors.New("lsm: empty key in batch")
 		}
+	}
+	return nil
+}
+
+// Apply commits the batch at the next internal sequence number. The
+// batch may be Reset and reused afterwards.
+func (db *DB) Apply(b *Batch) error { return db.commit(0, b) }
+
+// CommitAt commits the batch with every record carrying the externally
+// assigned sequence seq. This is the commit stage the sharded engine
+// drives: seq is a store-wide epoch from its commit clock, and the
+// per-DB sequence counter advances to seq — it becomes a view of that
+// clock rather than an independent allocator. seq must exceed every
+// sequence previously committed on this DB (the clock's per-shard
+// ticket ordering guarantees it); a regressing seq is an error and
+// commits nothing.
+func (db *DB) CommitAt(seq uint64, b *Batch) error {
+	if seq == 0 {
+		return errors.New("lsm: CommitAt requires a non-zero sequence")
+	}
+	return db.commit(seq, b)
+}
+
+// commit runs the pipeline: prepare (validation, lock-free), then the
+// commit stage under db.mu — absorb backpressure, fix the sequence, and
+// append to log and memtable. seq 0 means self-assigned.
+func (db *DB) commit(seq uint64, b *Batch) error {
+	if err := b.prepare(); err != nil {
+		return err
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -95,17 +128,32 @@ func (db *DB) Apply(b *Batch) error {
 	if err := db.stallLocked(); err != nil {
 		return err
 	}
+	if seq == 0 {
+		db.seq++
+		seq = db.seq
+	} else if seq <= db.seq {
+		return fmt.Errorf("lsm: commit sequence %d is not after the last committed %d", seq, db.seq)
+	} else {
+		db.seq = seq
+	}
+	return db.commitLocked(seq, b)
+}
+
+// commitLocked is the write stage: every record is appended to the WAL
+// and the memtable at sequence seq (one sequence for the whole batch —
+// the batch is one commit-order event). Caller holds db.mu and has
+// already advanced db.seq to seq.
+func (db *DB) commitLocked(seq uint64, b *Batch) error {
 	for i := range b.ops {
 		e := &b.ops[i]
-		db.seq++
-		rec := base.Entry{Key: e.Key, Value: e.Value, Seq: db.seq, Kind: e.Kind}
+		rec := base.Entry{Key: e.Key, Value: e.Value, Seq: seq, Kind: e.Kind}
 		off, n, err := db.log.Append(rec)
 		if err != nil {
 			return err
 		}
 		db.met.BytesLogged.Add(int64(n))
 		db.preserveLocked(e.Key)
-		db.mem.Set(e.Key, e.Value, rec.Seq, e.Kind, db.log.ID(), off)
+		db.mem.Set(e.Key, e.Value, seq, e.Kind, db.log.ID(), off)
 		db.met.UserWrites.Add(1)
 		db.met.UserBytes.Add(rec.Size())
 	}

@@ -1,0 +1,155 @@
+package lsm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/vfs"
+)
+
+func openCommitTestDB(t *testing.T) *DB {
+	t.Helper()
+	o := TriadOptions(vfs.NewMemFS())
+	db, err := Open(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+// TestCommitAtExternalSequence: CommitAt commits at the given sequence,
+// the per-DB counter becomes a view of it, and a regressing sequence is
+// rejected without committing anything.
+func TestCommitAtExternalSequence(t *testing.T) {
+	db := openCommitTestDB(t)
+	b := &Batch{}
+	b.Put([]byte("a"), []byte("1"))
+	b.Put([]byte("b"), []byte("2"))
+	if err := db.CommitAt(10, b); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.LastSeq(); got != 10 {
+		t.Fatalf("LastSeq = %d, want 10", got)
+	}
+	// Internal allocation resumes above the external clock.
+	if err := db.Put([]byte("c"), []byte("3")); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.LastSeq(); got != 11 {
+		t.Fatalf("LastSeq after Put = %d, want 11", got)
+	}
+	// Regressing sequence: rejected, nothing written.
+	bad := &Batch{}
+	bad.Put([]byte("a"), []byte("overwrite"))
+	err := db.CommitAt(11, bad)
+	if err == nil || !strings.Contains(err.Error(), "not after") {
+		t.Fatalf("CommitAt(11) after 11 = %v, want sequence-regression error", err)
+	}
+	if bad.Committed() {
+		t.Fatal("rejected batch marked committed")
+	}
+	if v, err := db.Get([]byte("a")); err != nil || string(v) != "1" {
+		t.Fatalf("Get(a) = %q, %v; want 1", v, err)
+	}
+	if err := db.CommitAt(0, bad); err == nil {
+		t.Fatal("CommitAt(0) succeeded, want error")
+	}
+}
+
+// TestCommitAtBatchSharesSequence: every record of a batch commits at
+// the batch's one sequence — a snapshot pinned at or above it sees the
+// whole batch, one pinned below sees none of it.
+func TestCommitAtBatchSharesSequence(t *testing.T) {
+	db := openCommitTestDB(t)
+	init := &Batch{}
+	init.Put([]byte("x"), []byte("old"))
+	init.Put([]byte("y"), []byte("old"))
+	if err := db.CommitAt(5, init); err != nil {
+		t.Fatal(err)
+	}
+	before, err := db.NewSnapshotAt(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer before.Close()
+
+	b := &Batch{}
+	b.Put([]byte("x"), []byte("new"))
+	b.Put([]byte("y"), []byte("new"))
+	if err := db.CommitAt(8, b); err != nil {
+		t.Fatal(err)
+	}
+	after, err := db.NewSnapshotAt(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer after.Close()
+
+	for _, k := range []string{"x", "y"} {
+		if v, err := before.Get([]byte(k)); err != nil || string(v) != "old" {
+			t.Fatalf("before.Get(%s) = %q, %v; want old", k, v, err)
+		}
+		if v, err := after.Get([]byte(k)); err != nil || string(v) != "new" {
+			t.Fatalf("after.Get(%s) = %q, %v; want new", k, v, err)
+		}
+	}
+}
+
+// TestNewSnapshotAtBounds: a pin below the last committed sequence is
+// an error (the view is gone); a pin above it is a valid future epoch
+// that filters later writes.
+func TestNewSnapshotAtBounds(t *testing.T) {
+	db := openCommitTestDB(t)
+	b := &Batch{}
+	b.Put([]byte("k"), []byte("v1"))
+	if err := db.CommitAt(20, b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.NewSnapshotAt(19); err == nil {
+		t.Fatal("NewSnapshotAt(19) after commit 20 succeeded, want error")
+	}
+	s, err := db.NewSnapshotAt(25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// A later commit (epoch 30 > pin 25) is invisible, and the pinned
+	// version of the in-place-overwritten key survives via the overlay.
+	b2 := &Batch{}
+	b2.Put([]byte("k"), []byte("v2"))
+	if err := db.CommitAt(30, b2); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := s.Get([]byte("k")); err != nil || string(v) != "v1" {
+		t.Fatalf("snapshot Get = %q, %v; want v1", v, err)
+	}
+	if v, err := db.Get([]byte("k")); err != nil || string(v) != "v2" {
+		t.Fatalf("live Get = %q, %v; want v2", v, err)
+	}
+}
+
+// TestApplyStillSelfSequences: the plain Apply path allocates its own
+// sequence (the standalone, unsharded mode) and coexists with reads.
+func TestApplyStillSelfSequences(t *testing.T) {
+	db := openCommitTestDB(t)
+	b := &Batch{}
+	b.Put([]byte("p"), []byte("q"))
+	if err := db.Apply(b); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.LastSeq(); got != 1 {
+		t.Fatalf("LastSeq = %d, want 1", got)
+	}
+	if !b.Committed() {
+		t.Fatal("batch not marked committed")
+	}
+	if err := db.Apply(b); err == nil {
+		t.Fatal("re-Apply of committed batch succeeded")
+	}
+	var empty Batch
+	empty.Put(nil, []byte("v"))
+	if err := db.Apply(&empty); err == nil || !strings.Contains(err.Error(), "empty key") {
+		t.Fatalf("empty-key batch = %v, want empty-key error", err)
+	}
+}

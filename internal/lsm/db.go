@@ -427,6 +427,16 @@ func entryValue(e base.Entry) ([]byte, error) {
 	return e.Value, nil
 }
 
+// LastSeq reports the highest committed sequence number. When this DB
+// serves as one shard of a sharded store it is the shard's view of the
+// store-wide commit clock; the store resumes its clock from the maximum
+// across shards on reopen.
+func (db *DB) LastSeq() uint64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.seq
+}
+
 // Metrics returns a snapshot of the engine's counters.
 func (db *DB) Metrics() metrics.Snapshot { return db.met.Snapshot() }
 

@@ -2,6 +2,7 @@ package lsm
 
 import (
 	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 
@@ -55,52 +56,33 @@ type snapPin struct{ seq uint64 }
 func (db *DB) NewSnapshot() (*Snapshot, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	return db.newSnapshotLocked()
+	return db.newSnapshotLocked(db.seq)
 }
 
-// NewSnapshots pins every store in dbs at one global instant: all write
-// locks are held simultaneously while the sequence numbers and memtable
-// stacks are captured, so no write anywhere can fall between two
-// captures. This is the cross-shard commit barrier the sharded engine
-// uses; combined with its apply barrier it makes a multi-store batch
-// either fully visible or fully invisible to the snapshots.
-//
-// On error every snapshot already taken is closed and nil is returned.
-func NewSnapshots(dbs []*DB) ([]*Snapshot, error) {
-	for _, db := range dbs {
-		db.mu.Lock()
+// NewSnapshotAt pins a read view at the externally assigned sequence
+// seq: the snapshot observes exactly the writes committed with
+// sequences <= seq. This is how the sharded engine captures one shard
+// of a store-wide snapshot — seq is the snapshot's epoch ticket from
+// the store clock, and the clock's per-shard commit ordering guarantees
+// that when the capture runs, every commit below seq has landed here
+// and none above it has. A seq below the last committed sequence would
+// claim a view this DB can no longer reconstruct and is an error.
+func (db *DB) NewSnapshotAt(seq uint64) (*Snapshot, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if seq < db.seq {
+		return nil, fmt.Errorf("lsm: snapshot sequence %d is before the last committed %d", seq, db.seq)
 	}
-	out := make([]*Snapshot, 0, len(dbs))
-	var firstErr error
-	for _, db := range dbs {
-		if firstErr != nil {
-			break
-		}
-		s, err := db.newSnapshotLocked()
-		if err != nil {
-			firstErr = err
-			break
-		}
-		out = append(out, s)
-	}
-	for _, db := range dbs {
-		db.mu.Unlock()
-	}
-	if firstErr != nil {
-		for _, s := range out {
-			s.Close()
-		}
-		return nil, firstErr
-	}
-	return out, nil
+	return db.newSnapshotLocked(seq)
 }
 
-// newSnapshotLocked captures the pin. Caller holds db.mu.
-func (db *DB) newSnapshotLocked() (*Snapshot, error) {
+// newSnapshotLocked captures the pin at seq (>= db.seq). Caller holds
+// db.mu.
+func (db *DB) newSnapshotLocked(seq uint64) (*Snapshot, error) {
 	if db.closed {
 		return nil, ErrClosed
 	}
-	s := &Snapshot{db: db, seq: db.seq, mem: db.mem, refs: 1, pin: &snapPin{seq: db.seq}}
+	s := &Snapshot{db: db, seq: seq, mem: db.mem, refs: 1, pin: &snapPin{seq: seq}}
 	for i := len(db.imm) - 1; i >= 0; i-- {
 		s.imms = append(s.imms, db.imm[i].mem)
 	}

@@ -110,6 +110,12 @@ func NewReader(r io.Reader) *Reader {
 	return &Reader{br: bufio.NewReaderSize(r, 32<<10)}
 }
 
+// Buffered reports the bytes read from the stream but not yet consumed
+// by decoding. A client deciding whether a failed read left the stream
+// in sync (nothing partially consumed) checks it alongside its own
+// count of bytes pulled off the wire.
+func (r *Reader) Buffered() int { return r.br.Buffered() }
+
 // readLine reads one CRLF-terminated line of at most max payload bytes
 // and returns the payload (a fresh slice, CRLF stripped). When lenient,
 // a bare LF terminator is accepted (inline commands, telnet clients).

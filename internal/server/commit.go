@@ -9,30 +9,39 @@ import (
 	"repro/internal/lsm"
 )
 
-// pending is one group of writes awaiting a shared Apply. Connections
-// hold a reference per enqueued command and wait on done; err carries
-// the Apply outcome to every waiter.
+// pending is one group of writes awaiting a shared commit. Connections
+// hold a reference per enqueued command; sealed closes once the group's
+// epoch is assigned (at coalesce time), done once the commit finished,
+// with err carrying the outcome to every waiter.
 type pending struct {
-	batch lsm.Batch
-	done  chan struct{}
-	err   error
-	start time.Time
+	batch  lsm.Batch
+	sealed chan struct{} // epoch assigned (or the prepare failed)
+	epoch  uint64        // valid once sealed is closed; 0 = prepare failed
+	done   chan struct{}
+	err    error
+	start  time.Time
 }
 
 // committer coalesces writes from every connection into shard-split
-// batches. One goroutine owns the Apply; batching is leader-based: by
-// default (CommitDelay 0) the loop commits the open group the moment it
-// is free, and the ops that arrive while an Apply is in flight simply
-// form the next group — under load the batches grow toward
-// CommitMaxOps/CommitMaxBytes with no latency added to a quiet server.
-// A positive CommitDelay instead holds each group open for a fixed
-// window from its first write (deliberately trading latency for larger
-// batches; note Go's netpoller rounds sub-millisecond sleeps up toward
-// a millisecond on an idle process, so tiny windows cost more than they
-// read). Applying from a single goroutine keeps batches strictly
-// ordered — two writes from one connection can never commit out of
-// order — while the shard layer fans each batch's sub-batches out to
-// the shards in parallel.
+// batches and feeds them to the store's commit pipeline. Batching is
+// leader-based: by default (CommitDelay 0) the loop seals the open
+// group the moment it is free, and the ops that arrive while a commit
+// is in flight simply form the next group — under load the batches grow
+// toward CommitMaxOps/CommitMaxBytes with no latency added to a quiet
+// server. A positive CommitDelay instead holds each group open for a
+// fixed window from its first write (deliberately trading latency for
+// larger batches; note Go's netpoller rounds sub-millisecond sleeps up
+// toward a millisecond on an idle process, so tiny windows cost more
+// than they read).
+//
+// The committer is a stage of the store's commit pipeline, not an
+// ordering layer of its own: the loop Prepares each detached group —
+// fixing its store-clock epoch in detach order — and then runs the
+// Commit on a pooled goroutine, up to CommitPipeline groups in flight
+// at once. Epoch order, enforced per shard by the store clock, is what
+// keeps overlapping commits strictly ordered; the old single-goroutine
+// one-Apply-at-a-time rule existed only to provide that ordering and is
+// gone.
 type committer struct {
 	store Store
 	cfg   Config
@@ -41,10 +50,12 @@ type committer struct {
 	cur    *pending
 	closed bool
 
-	kick chan struct{} // a new group opened
-	full chan struct{} // the current group hit a size limit
-	quit chan struct{}
-	wg   sync.WaitGroup
+	kick     chan struct{} // a new group opened
+	full     chan struct{} // the current group hit a size limit
+	quit     chan struct{}
+	wg       sync.WaitGroup
+	inflight chan struct{}  // semaphore: groups between Prepare and Commit-done
+	cwg      sync.WaitGroup // in-flight Commit goroutines
 
 	batches atomic.Int64
 	ops     atomic.Int64
@@ -52,11 +63,12 @@ type committer struct {
 
 func newCommitter(store Store, cfg Config) *committer {
 	c := &committer{
-		store: store,
-		cfg:   cfg,
-		kick:  make(chan struct{}, 1),
-		full:  make(chan struct{}, 1),
-		quit:  make(chan struct{}),
+		store:    store,
+		cfg:      cfg,
+		kick:     make(chan struct{}, 1),
+		full:     make(chan struct{}, 1),
+		quit:     make(chan struct{}),
+		inflight: make(chan struct{}, cfg.CommitPipeline),
 	}
 	c.wg.Add(1)
 	go c.loop()
@@ -73,7 +85,7 @@ func (c *committer) enqueue(entries []base.Entry) (*pending, error) {
 		return nil, errShuttingDown
 	}
 	if c.cur == nil {
-		c.cur = &pending{done: make(chan struct{}), start: time.Now()}
+		c.cur = &pending{sealed: make(chan struct{}), done: make(chan struct{}), start: time.Now()}
 		select {
 		case c.kick <- struct{}{}:
 		default:
@@ -132,27 +144,54 @@ func (c *committer) isFull(pb *pending) bool {
 	return pb.batch.Len() >= c.cfg.CommitMaxOps || pb.batch.Bytes() >= c.cfg.CommitMaxBytes
 }
 
-// commit detaches the open group, applies it, and wakes the waiters. A
-// leftover full token from a group that was committed by the timer can
-// close the next window early; that costs one smaller batch, never
-// correctness.
+// commit waits for a pipeline slot, then detaches the open group,
+// Prepares it (assigning its epoch — waiters unblock on sealed the
+// moment the position in the commit order is known), and hands the
+// Commit to a pipelined goroutine. Acquiring the slot before detaching
+// is what preserves leader-based batching: while every slot is busy,
+// the open group keeps absorbing arrivals, so batches still grow with
+// load exactly as when one blocking Apply gated the loop. A leftover
+// full token from a group that was committed by the timer can close the
+// next window early; that costs one smaller batch, never correctness.
 func (c *committer) commit() {
+	c.inflight <- struct{}{}
 	c.mu.Lock()
 	pb := c.cur
 	c.cur = nil
 	c.mu.Unlock()
 	if pb == nil {
+		<-c.inflight
 		return
 	}
-	pb.err = c.store.Apply(&pb.batch)
-	c.batches.Add(1)
-	c.ops.Add(int64(pb.batch.Len()))
-	close(pb.done)
+	cm, err := c.store.Prepare(&pb.batch)
+	if err != nil {
+		pb.err = err
+		close(pb.sealed)
+		close(pb.done)
+		<-c.inflight
+		return
+	}
+	pb.epoch = cm.Epoch()
+	close(pb.sealed)
+	// Bounded pipelining: the loop goes back to coalescing while up to
+	// CommitPipeline prepared groups apply concurrently. Their epochs
+	// are already ordered, so the store commits them in sealing order on
+	// every shard they share.
+	c.cwg.Add(1)
+	go func() {
+		defer c.cwg.Done()
+		pb.err = cm.Commit()
+		c.batches.Add(1)
+		c.ops.Add(int64(pb.batch.Len()))
+		close(pb.done)
+		<-c.inflight
+	}()
 }
 
 // close stops accepting writes, commits any open group, and waits for
-// the loop to exit. Safe to call once; callers (Server.Shutdown) ensure
-// connections have drained first so no enqueue races the close.
+// the loop and every in-flight commit to finish. Safe to call once;
+// callers (Server.Shutdown) ensure connections have drained first so no
+// enqueue races the close.
 func (c *committer) close() {
 	c.mu.Lock()
 	if c.closed {
@@ -163,4 +202,5 @@ func (c *committer) close() {
 	c.mu.Unlock()
 	close(c.quit)
 	c.wg.Wait()
+	c.cwg.Wait()
 }

@@ -240,13 +240,24 @@ func (c *conn) wantArgs(args [][]byte, minA, maxA int, usage string) bool {
 	return true
 }
 
-// barrier waits for the connection's last enqueued write group so a
-// following read observes it (read-your-writes within a connection).
+// barrier makes a following read observe the connection's last enqueued
+// write group (read-your-writes within a connection). It is keyed on
+// the group's epoch: wait for the epoch to be assigned (coalesce time),
+// then for the store's commit watermark to reach it. The barrier does
+// not need the group's error — the write's own queued reply carries it.
 func (c *conn) barrier() {
-	if c.lastWrite != nil {
-		<-c.lastWrite.done
-		c.lastWrite = nil
+	pb := c.lastWrite
+	if pb == nil {
+		return
 	}
+	c.lastWrite = nil
+	<-pb.sealed
+	if pb.epoch == 0 {
+		// Prepare failed; the group never entered the commit order.
+		<-pb.done
+		return
+	}
+	c.srv.store.WaitCommitted(pb.epoch)
 }
 
 // get executes a point read and shapes the reply.

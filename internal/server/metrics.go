@@ -57,9 +57,15 @@ func (s *Server) MetricsText() string {
 		fmt.Fprintf(&b, "triad_shard_files{shard=\"%d\"} %d\n", st.Shard, st.Files)
 		fmt.Fprintf(&b, "triad_shard_write_amplification{shard=\"%d\"} %.4f\n", st.Shard, st.WA)
 		fmt.Fprintf(&b, "triad_shard_read_amplification{shard=\"%d\"} %.4f\n", st.Shard, st.RA)
+		fmt.Fprintf(&b, "triad_shard_snapshots_open{shard=\"%d\"} %d\n", st.Shard, st.OpenSnapshots)
+		fmt.Fprintf(&b, "triad_shard_snapshots_leaked_total{shard=\"%d\"} %d\n", st.Shard, st.LeakedSnapshots)
+		fmt.Fprintf(&b, "triad_shard_overlay_entries{shard=\"%d\"} %d\n", st.Shard, st.OverlayEntries)
 	}
 
+	line("commit_epoch", s.store.CommittedEpoch())
 	line("snapshots_open", s.store.OpenSnapshots())
+	line("snapshots_leaked_total", s.store.LeakedSnapshots())
+	line("overlay_entries", s.store.OverlayEntries())
 
 	open, total, commands := s.ConnStats()
 	line("server_connections_open", open)
@@ -81,6 +87,6 @@ func (s *Server) MetricsText() string {
 // server's own snapshot/cursor accounting.
 func (s *Server) statsText() string {
 	curOpen, curTotal := s.CursorStats()
-	return s.store.Stats() + fmt.Sprintf("server: %d cursors open (%d lifetime), %d store snapshots open\n",
-		curOpen, curTotal, s.store.OpenSnapshots())
+	return s.store.Stats() + fmt.Sprintf("server: %d cursors open (%d lifetime), %d store snapshots open (%d leaked), %d overlay entries\n",
+		curOpen, curTotal, s.store.OpenSnapshots(), s.store.LeakedSnapshots(), s.store.OverlayEntries())
 }

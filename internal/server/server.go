@@ -11,18 +11,18 @@
 //     server keeps parsing while earlier writes are still committing.
 //
 //   - Cross-connection group commit. Writes from all connections are
-//     coalesced into one shared batch that a committer goroutine applies
-//     through shard.DB.Apply when the batch fills up or a max-delay
-//     window expires — amortizing the commit-log append and the memtable
-//     mutex exactly where TRIAD says the write-path costs live, and
-//     letting the shard layer split every group across shards in
-//     parallel.
+//     coalesced into shared batches that ride the store's commit
+//     pipeline: each group's epoch is fixed when the committer seals it,
+//     and up to CommitPipeline sealed groups apply concurrently —
+//     amortizing the commit-log append and the memtable mutex exactly
+//     where TRIAD says the write-path costs live, while the store clock
+//     (not the committer) keeps overlapping groups ordered per shard.
 //
 // Per-connection ordering is preserved: replies are sent in request
 // order, and a read observes every earlier write of its own connection
-// (the reader waits for the connection's last enqueued batch before
-// serving GET/MGET/SCAN — reads of other connections' in-flight writes
-// are not ordered, exactly as with any concurrent store).
+// (the reader waits for the epoch of the connection's last write group
+// before serving GET/MGET/SCAN — reads of other connections' in-flight
+// writes are not ordered, exactly as with any concurrent store).
 package server
 
 import (
@@ -46,6 +46,16 @@ import (
 type Store interface {
 	Get(key []byte) ([]byte, error)
 	Apply(b *lsm.Batch) error
+	// Prepare stages a batch in the store's commit pipeline, fixing its
+	// epoch; Commit applies it. Apply is Prepare+Commit. The group
+	// committer uses the staged form so it can publish a group's epoch
+	// to waiters at coalesce time and pipeline the applies.
+	Prepare(b *lsm.Batch) (*shard.Commit, error)
+	// WaitCommitted blocks until every epoch at or below epoch has
+	// committed — the read-your-writes barrier.
+	WaitCommitted(epoch uint64)
+	// CommittedEpoch reports the store's commit watermark (metrics).
+	CommittedEpoch() uint64
 	Flush() error
 	Stats() string
 	Metrics() metrics.Snapshot
@@ -54,8 +64,11 @@ type Store interface {
 	// reads through one (cursors hold theirs open across pages, which
 	// is what makes paging repeatable).
 	NewSnapshot() (*shard.Snapshot, error)
-	// OpenSnapshots reports the store's live snapshot count (metrics).
+	// OpenSnapshots reports the store's live snapshot count (metrics);
+	// LeakedSnapshots and OverlayEntries surface snapshot hygiene.
 	OpenSnapshots() int
+	LeakedSnapshots() int64
+	OverlayEntries() int
 }
 
 var _ Store = (*shard.DB)(nil)
@@ -81,6 +94,11 @@ type Config struct {
 	// CommitMaxBytes commits the pending group when it reaches this many
 	// payload bytes. Default 1 MiB.
 	CommitMaxBytes int64
+	// CommitPipeline is how many sealed write groups may be applying
+	// concurrently. Their epochs are assigned at coalesce time, and the
+	// store clock commits them in epoch order on every shard they
+	// share, so pipelining cannot reorder writes. Default 4.
+	CommitPipeline int
 	// MaxPipeline bounds a connection's outstanding replies; a client
 	// that pipelines deeper blocks until replies drain (backpressure).
 	// Default 1024.
@@ -108,6 +126,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CommitMaxBytes <= 0 {
 		c.CommitMaxBytes = 1 << 20
+	}
+	if c.CommitPipeline <= 0 {
+		c.CommitPipeline = 4
 	}
 	if c.MaxPipeline <= 0 {
 		c.MaxPipeline = 1024

@@ -1,0 +1,152 @@
+package shard
+
+import "sync"
+
+// clock is the store-wide commit clock: one monotonically increasing
+// sequence of epochs that every write batch and every snapshot draws a
+// ticket from. The clock replaces three independent ordering mechanisms
+// that used to stack on top of each other — per-lsm.DB sequence
+// counters, the shard layer's all-or-nothing apply barrier, and the
+// server committer's single-goroutine ordering — with a single total
+// order:
+//
+//   - every ticket (a batch or a snapshot capture) holds one unique
+//     epoch; per-DB sequence counters become views of this clock;
+//   - per shard, tickets execute in epoch order (each ticket waits for
+//     its predecessor on that shard's chain), so any two tickets that
+//     share a shard are ordered the same way everywhere they meet —
+//     conflicting cross-shard batches are serializable, and a snapshot
+//     ticket spanning all shards captures every shard at the same
+//     logical instant without freezing the store;
+//   - a committed watermark tracks the contiguous prefix of finished
+//     epochs, which is what a read-your-writes barrier keys on.
+//
+// Ticket allocation is O(touched shards) under one mutex; the per-shard
+// chains hand execution from each ticket directly to its successor, so
+// shards that share no tickets never synchronize.
+type clock struct {
+	mu   sync.Mutex
+	cond *sync.Cond // broadcast when committed advances
+	next uint64     // next epoch to hand out
+	tail []uint64   // per shard: epoch of the last ticket enqueued there
+
+	committed uint64              // every epoch <= committed has finished
+	finished  map[uint64]struct{} // epochs finished out of order
+
+	gates []gate
+}
+
+// gate is one shard's commit chain: done is the epoch of the last
+// ticket that finished on this shard, which is exactly the predecessor
+// epoch its successor recorded at allocation time.
+type gate struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	done uint64
+}
+
+// newClock returns a clock over shards chains resuming at epoch last
+// (the highest sequence any shard recovered; new stores start at 0).
+func newClock(shards int, last uint64) *clock {
+	c := &clock{
+		next:      last + 1,
+		committed: last,
+		tail:      make([]uint64, shards),
+		finished:  make(map[uint64]struct{}),
+		gates:     make([]gate, shards),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	for i := range c.tail {
+		c.tail[i] = last
+	}
+	for i := range c.gates {
+		g := &c.gates[i]
+		g.done = last
+		g.cond = sync.NewCond(&g.mu)
+	}
+	return c
+}
+
+// ticket is one position in the store's total commit order: an epoch
+// plus, per touched shard, the epoch of the ticket immediately ahead on
+// that shard's chain.
+type ticket struct {
+	epoch  uint64
+	shards []int    // touched shard indices
+	preds  []uint64 // predecessor epoch per entry of shards
+}
+
+// allocate hands out the next epoch and enqueues the ticket on every
+// listed shard's chain. The caller must drive the ticket to completion
+// — waitTurn+shardDone on every shard, then finish — even on error
+// paths, or everything queued behind it blocks forever. The shards
+// slice is retained; callers must not mutate it afterwards.
+func (c *clock) allocate(shards []int) ticket {
+	c.mu.Lock()
+	t := ticket{epoch: c.next, shards: shards, preds: make([]uint64, len(shards))}
+	c.next++
+	for j, i := range shards {
+		t.preds[j] = c.tail[i]
+		c.tail[i] = t.epoch
+	}
+	c.mu.Unlock()
+	return t
+}
+
+// waitTurn blocks until every earlier ticket touching t.shards[j] has
+// finished there — the ticket is now at the head of that shard's chain.
+func (c *clock) waitTurn(t ticket, j int) {
+	g := &c.gates[t.shards[j]]
+	g.mu.Lock()
+	for g.done != t.preds[j] {
+		g.cond.Wait()
+	}
+	g.mu.Unlock()
+}
+
+// shardDone marks t finished on t.shards[j], handing the chain to its
+// successor.
+func (c *clock) shardDone(t ticket, j int) {
+	g := &c.gates[t.shards[j]]
+	g.mu.Lock()
+	g.done = t.epoch
+	g.mu.Unlock()
+	g.cond.Broadcast()
+}
+
+// finish retires the ticket from the total order; the committed
+// watermark advances over every contiguously finished epoch.
+func (c *clock) finish(t ticket) {
+	c.mu.Lock()
+	c.finished[t.epoch] = struct{}{}
+	advanced := false
+	for {
+		if _, ok := c.finished[c.committed+1]; !ok {
+			break
+		}
+		c.committed++
+		delete(c.finished, c.committed)
+		advanced = true
+	}
+	c.mu.Unlock()
+	if advanced {
+		c.cond.Broadcast()
+	}
+}
+
+// waitCommitted blocks until the committed watermark reaches epoch —
+// every ticket at or below it has finished.
+func (c *clock) waitCommitted(epoch uint64) {
+	c.mu.Lock()
+	for c.committed < epoch {
+		c.cond.Wait()
+	}
+	c.mu.Unlock()
+}
+
+// committedEpoch reports the watermark.
+func (c *clock) committedEpoch() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.committed
+}

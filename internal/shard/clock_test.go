@@ -1,0 +1,106 @@
+package shard
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestClockEpochsUniqueAndOrdered: allocation hands out strictly
+// increasing epochs, and per shard, waitTurn admits tickets in exactly
+// allocation order.
+func TestClockEpochsUniqueAndOrdered(t *testing.T) {
+	const shards, workers, perWorker = 3, 8, 200
+	c := newClock(shards, 0)
+	order := make([][]uint64, shards) // per shard: epochs in commit order
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perWorker; i++ {
+				// Random non-empty shard subset.
+				var idxs []int
+				for s := 0; s < shards; s++ {
+					if rng.Intn(2) == 0 {
+						idxs = append(idxs, s)
+					}
+				}
+				if len(idxs) == 0 {
+					idxs = []int{rng.Intn(shards)}
+				}
+				tk := c.allocate(idxs)
+				for j := range idxs {
+					c.waitTurn(tk, j)
+					mu.Lock()
+					order[idxs[j]] = append(order[idxs[j]], tk.epoch)
+					mu.Unlock()
+					c.shardDone(tk, j)
+				}
+				c.finish(tk)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for s, epochs := range order {
+		for i := 1; i < len(epochs); i++ {
+			if epochs[i] <= epochs[i-1] {
+				t.Fatalf("shard %d committed epoch %d after %d — not in ticket order", s, epochs[i], epochs[i-1])
+			}
+		}
+	}
+	// Every ticket finished, so the watermark is the last epoch issued.
+	if got := c.committedEpoch(); got != uint64(workers*perWorker) {
+		t.Fatalf("committedEpoch = %d, want %d", got, workers*perWorker)
+	}
+}
+
+// TestClockWatermarkGap: the committed watermark must not advance past
+// an unfinished epoch, even when later epochs finish first.
+func TestClockWatermarkGap(t *testing.T) {
+	c := newClock(2, 0)
+	t1 := c.allocate([]int{0})
+	t2 := c.allocate([]int{1})
+	// t2 finishes first: watermark stays below t1.
+	c.waitTurn(t2, 0)
+	c.shardDone(t2, 0)
+	c.finish(t2)
+	if got := c.committedEpoch(); got != 0 {
+		t.Fatalf("committedEpoch = %d with epoch %d unfinished, want 0", got, t1.epoch)
+	}
+	done := make(chan struct{})
+	go func() {
+		c.waitCommitted(t2.epoch)
+		close(done)
+	}()
+	c.waitTurn(t1, 0)
+	c.shardDone(t1, 0)
+	c.finish(t1)
+	<-done // waitCommitted(t2) unblocks once the gap closes
+	if got := c.committedEpoch(); got != t2.epoch {
+		t.Fatalf("committedEpoch = %d, want %d", got, t2.epoch)
+	}
+}
+
+// TestClockResume: a clock resuming from a recovered sequence issues
+// epochs strictly above it.
+func TestClockResume(t *testing.T) {
+	c := newClock(2, 41)
+	if got := c.committedEpoch(); got != 41 {
+		t.Fatalf("committedEpoch = %d, want 41", got)
+	}
+	tk := c.allocate([]int{0, 1})
+	if tk.epoch != 42 {
+		t.Fatalf("first epoch = %d, want 42", tk.epoch)
+	}
+	for j := range tk.shards {
+		c.waitTurn(tk, j)
+		c.shardDone(tk, j)
+	}
+	c.finish(tk)
+	if got := c.committedEpoch(); got != 42 {
+		t.Fatalf("committedEpoch = %d, want 42", got)
+	}
+}

@@ -100,19 +100,21 @@ func DivideBudgets(o lsm.Options, n int) lsm.Options {
 }
 
 // DB is a sharded key-value store. All methods are safe for concurrent
-// use. Writes to different shards proceed in parallel; writes to the
-// same shard serialize exactly as in lsm.DB.
+// use. Writes to different shards proceed in parallel; writes touching
+// the same shard commit in store-clock epoch order.
 type DB struct {
 	shards []*lsm.DB
 	part   Partitioner
 
-	// applyMu is the cross-shard commit barrier. Cross-shard Apply holds
-	// the read side for its whole fan-out (many batches commit
-	// concurrently); NewSnapshot holds the write side while it captures
-	// every shard, so a snapshot never lands in the middle of a
-	// multi-shard batch. Single-shard writes need no barrier — they are
-	// atomic on their shard.
-	applyMu sync.RWMutex
+	// clk is the store-wide commit clock: every write (single- or
+	// cross-shard) and every snapshot holds one epoch ticket, and per
+	// shard, tickets execute in epoch order. That single total order is
+	// what makes concurrent conflicting cross-shard batches serializable
+	// and lets NewSnapshot pin an epoch instead of freezing every
+	// shard's write lock.
+	clk *clock
+	// idxAll is the precomputed all-shards index list snapshots ticket.
+	idxAll []int
 
 	openSnaps atomic.Int64
 }
@@ -159,6 +161,19 @@ func Open(o Options) (*DB, error) {
 			return nil, fmt.Errorf("shard %d: open: %w", i, err)
 		}
 		db.shards = append(db.shards, s)
+	}
+	// The store clock resumes from the highest sequence any shard has
+	// committed, so epochs stay unique across reopens.
+	var last uint64
+	for _, s := range db.shards {
+		if ls := s.LastSeq(); ls > last {
+			last = ls
+		}
+	}
+	db.clk = newClock(len(db.shards), last)
+	db.idxAll = make([]int, len(db.shards))
+	for i := range db.idxAll {
+		db.idxAll[i] = i
 	}
 	return db, nil
 }
@@ -239,84 +254,193 @@ func (db *DB) pick(key []byte) *lsm.DB {
 	return db.shards[db.part.Partition(key, len(db.shards))]
 }
 
-// Put associates value with key on the owning shard.
-func (db *DB) Put(key, value []byte) error { return db.pick(key).Put(key, value) }
+// Put associates value with key on the owning shard, committing at a
+// fresh store-clock epoch.
+func (db *DB) Put(key, value []byte) error {
+	b := &lsm.Batch{}
+	b.Put(key, value)
+	return db.commitOne(db.part.Partition(key, len(db.shards)), b)
+}
 
 // Get returns the value stored under key, or lsm.ErrNotFound.
 func (db *DB) Get(key []byte) ([]byte, error) { return db.pick(key).Get(key) }
 
 // Delete removes key (writing a tombstone on the owning shard).
-func (db *DB) Delete(key []byte) error { return db.pick(key).Delete(key) }
+func (db *DB) Delete(key []byte) error {
+	b := &lsm.Batch{}
+	b.Delete(key)
+	return db.commitOne(db.part.Partition(key, len(db.shards)), b)
+}
+
+// commitOne commits a batch routed entirely to shard i at a fresh
+// epoch — the degenerate, inline form of the commit pipeline.
+func (db *DB) commitOne(i int, b *lsm.Batch) error {
+	// Absorb write stalls before taking the ticket: a stalled commit at
+	// the head of the shard's chain would block every ticket queued
+	// behind it (including snapshots) for the length of a compaction.
+	if err := db.shards[i].WaitWritable(); err != nil {
+		return err
+	}
+	t := db.clk.allocate([]int{i})
+	db.clk.waitTurn(t, 0)
+	err := db.shards[i].CommitAt(t.epoch, b)
+	db.clk.shardDone(t, 0)
+	db.clk.finish(t)
+	return err
+}
 
 // Batch is re-exported so callers build batches without importing lsm.
 type Batch = lsm.Batch
 
-// Apply splits b into per-shard sub-batches and applies them
-// concurrently. Atomicity is per shard: a sub-batch commits atomically
-// on its shard, but a failure can leave the batch applied on some shards
-// and not others (the batch then stays uncommitted, so retrying after
-// the error is safe — re-applying a Put/Delete set is idempotent).
-//
-// Point reads and single-shard scans can observe a batch half applied;
-// a Snapshot (or any multi-shard iterator, which rides on one) cannot:
-// NewSnapshot waits for in-flight cross-shard batches and commits block
-// while a capture runs. Two *concurrent* Apply calls writing the same
-// keys commit in unspecified per-shard order, so callers needing a
-// cross-key invariant must serialize conflicting batches themselves.
-func (db *DB) Apply(b *Batch) error {
+// Commit is a prepared batch holding its epoch ticket — its place in
+// the store-wide total commit order. Exactly one Commit (or Abort) call
+// must follow Prepare: an abandoned ticket blocks every later write and
+// snapshot queued behind it on its shards.
+type Commit struct {
+	db   *DB
+	b    *Batch
+	subs []*lsm.Batch // per shard; nil where the batch has no ops
+	tk   ticket
+	used bool
+}
+
+// Prepare stages b in the commit pipeline: validate, split into
+// per-shard sub-batches, absorb write stalls, and allocate the epoch
+// ticket. The returned Commit's epoch is final — later Prepares get
+// later epochs — which is what lets a caller (the server's group
+// committer) publish the epoch to waiters before the writes land.
+func (db *DB) Prepare(b *Batch) (*Commit, error) {
 	if b.Committed() {
-		return errors.New("shard: batch already applied (Reset to reuse)")
-	}
-	if len(db.shards) == 1 {
-		return db.shards[0].Apply(b)
+		return nil, errors.New("shard: batch already applied (Reset to reuse)")
 	}
 	for _, e := range b.Ops() {
 		if len(e.Key) == 0 {
-			return errors.New("shard: empty key in batch")
+			return nil, errors.New("shard: empty key in batch")
 		}
 	}
 	subs := make([]*lsm.Batch, len(db.shards))
-	for _, e := range b.Ops() {
-		i := db.part.Partition(e.Key, len(db.shards))
-		if subs[i] == nil {
-			subs[i] = &lsm.Batch{}
+	var idxs []int
+	if len(db.shards) == 1 && b.Len() > 0 {
+		// Single-shard store: the batch is its own sub-batch, no split.
+		subs[0] = b
+		idxs = []int{0}
+	} else {
+		for _, e := range b.Ops() {
+			i := db.part.Partition(e.Key, len(db.shards))
+			if subs[i] == nil {
+				subs[i] = &lsm.Batch{}
+				idxs = append(idxs, i)
+			}
+			// The outer batch's Put/Delete already made defensive
+			// copies; PutEntry re-queues them without copying again.
+			subs[i].PutEntry(e)
 		}
-		// The outer batch's Put/Delete already made defensive copies;
-		// PutEntry re-queues them without copying again.
-		subs[i].PutEntry(e)
 	}
-	// Absorb write stalls before entering the barrier: the read side is
-	// held across the whole fan-out, so a shard stalling inside (L0
-	// full, flush queue full — potentially seconds) would hold the
-	// barrier, and a NewSnapshot waiting on the write side would convoy
-	// every other cross-shard batch behind the one stalled shard.
-	// Waiting here narrows that to the rare stall that develops between
-	// this check and the commit.
-	for i, sub := range subs {
-		if sub == nil {
-			continue
-		}
+	// Absorb write stalls before taking the ticket (see commitOne).
+	for _, i := range idxs {
 		if err := db.shards[i].WaitWritable(); err != nil {
-			return err
+			return nil, err
 		}
 	}
-	// Hold the apply barrier's read side across the fan-out so a
-	// concurrent NewSnapshot (write side) can never capture the shards
-	// with this batch half applied.
-	db.applyMu.RLock()
-	err := db.fanOut(func(i int, s *lsm.DB) error {
-		if subs[i] == nil {
-			return nil
+	return &Commit{db: db, b: b, subs: subs, tk: db.clk.allocate(idxs)}, nil
+}
+
+// Epoch reports the commit's position in the store-wide total order.
+func (c *Commit) Epoch() uint64 { return c.tk.epoch }
+
+// Commit applies the per-shard sub-batches, each at the ticket's epoch
+// and at the ticket's turn in that shard's commit chain. A failure can
+// still leave the batch applied on some shards and not others (the
+// batch then stays uncommitted, so retrying with a fresh Prepare is
+// safe — re-applying a Put/Delete set is idempotent); the chains and
+// the watermark always advance, so an error never wedges the pipeline.
+//
+// Write stalls are absorbed at Prepare time, before the ticket exists;
+// a stall that develops between Prepare and Commit blocks this shard's
+// chain — successors wait on this ticket whether it stalls before or
+// after claiming the chain head, so a later re-check could not help.
+// The exposure is narrower than the pre-clock design, where a stall
+// inside the apply barrier held the storewide applyMu and froze every
+// shard's snapshots; now only the stalled shard's chain waits, and the
+// other shards keep committing.
+func (c *Commit) Commit() error {
+	if c.used {
+		return errors.New("shard: commit already executed (Prepare again)")
+	}
+	c.used = true
+	db := c.db
+	var err error
+	switch len(c.tk.shards) {
+	case 0: // empty batch: the ticket is just a watermark event
+	case 1:
+		i := c.tk.shards[0]
+		db.clk.waitTurn(c.tk, 0)
+		err = db.shards[i].CommitAt(c.tk.epoch, c.subs[i])
+		db.clk.shardDone(c.tk, 0)
+	default:
+		errs := make([]error, len(c.tk.shards))
+		var wg sync.WaitGroup
+		for j := range c.tk.shards {
+			wg.Add(1)
+			go func(j int) {
+				defer wg.Done()
+				i := c.tk.shards[j]
+				db.clk.waitTurn(c.tk, j)
+				errs[j] = db.shards[i].CommitAt(c.tk.epoch, c.subs[i])
+				db.clk.shardDone(c.tk, j)
+			}(j)
 		}
-		return s.Apply(subs[i])
-	})
-	db.applyMu.RUnlock()
+		wg.Wait()
+		err = errors.Join(errs...)
+	}
+	db.clk.finish(c.tk)
 	if err != nil {
 		return err
 	}
-	b.MarkCommitted()
+	c.b.MarkCommitted()
 	return nil
 }
+
+// Abort releases the ticket without writing: the per-shard chains and
+// the watermark advance exactly as for a committed ticket, so the
+// pipeline cannot wedge on an abandoned Prepare.
+func (c *Commit) Abort() {
+	if c.used {
+		return
+	}
+	c.used = true
+	for j := range c.tk.shards {
+		c.db.clk.waitTurn(c.tk, j)
+		c.db.clk.shardDone(c.tk, j)
+	}
+	c.db.clk.finish(c.tk)
+}
+
+// Apply commits b through the pipeline: every batch — single- or
+// cross-shard — commits at one totally ordered epoch, and batches
+// sharing a shard commit there in epoch order. Two concurrent
+// conflicting cross-shard Applies are therefore serializable: whichever
+// drew the later epoch commits second on every shard they share, so the
+// store always ends in a state some serial execution produces, and
+// snapshots only ever observe prefixes of that order.
+//
+// Point reads and single-shard scans can still observe a cross-shard
+// batch half applied (they are not epoch-pinned); a Snapshot cannot.
+func (db *DB) Apply(b *Batch) error {
+	c, err := db.Prepare(b)
+	if err != nil {
+		return err
+	}
+	return c.Commit()
+}
+
+// CommittedEpoch reports the commit watermark: every epoch at or below
+// it has finished on all its shards.
+func (db *DB) CommittedEpoch() uint64 { return db.clk.committedEpoch() }
+
+// WaitCommitted blocks until the watermark reaches epoch — the
+// read-your-writes barrier for a caller holding a Commit's epoch.
+func (db *DB) WaitCommitted(epoch uint64) { db.clk.waitCommitted(epoch) }
 
 // Flush seals and drains every shard's memtable, in parallel.
 func (db *DB) Flush() error {

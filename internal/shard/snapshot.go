@@ -8,39 +8,63 @@ import (
 )
 
 // Snapshot is a pinned read view spanning every shard, taken at one
-// global instant: NewSnapshot quiesces cross-shard Apply batches (the
-// apply barrier) and then holds every shard's write lock simultaneously
-// while the per-shard sequence numbers are captured, so a multi-shard
-// batch is either entirely visible or entirely invisible — a scan can
-// never observe half of a cross-shard commit. Reads route exactly like
-// the live store: point lookups to the owning shard's pinned view,
-// scans planned by the partitioner's ownership query.
+// epoch of the store-wide commit clock: NewSnapshot draws a ticket
+// covering all shards, and each shard is captured when that ticket
+// reaches the head of the shard's commit chain — after every batch with
+// an earlier epoch has committed there, before any with a later one
+// can. All shards therefore pin the same logical instant (the epoch)
+// even though the captures run at different wall-clock moments, and no
+// shard's write lock is held across another shard's capture: writes to
+// an already-captured shard proceed while the rest of the capture
+// drains. A multi-shard batch is either entirely visible (epoch below
+// the snapshot's) or entirely invisible — a scan can never observe half
+// of a cross-shard commit, and concurrent conflicting batches appear in
+// exactly their serialized epoch order.
 //
 // Close releases every shard's pin; iterators opened from the snapshot
 // keep the underlying per-shard pins alive until they close.
 type Snapshot struct {
 	db    *DB
 	snaps []*lsm.Snapshot
+	epoch uint64
 
 	mu     sync.Mutex
 	closed bool
 }
 
-// NewSnapshot pins all shards at one global instant.
+// NewSnapshot pins all shards at one epoch. The captures run
+// sequentially: each shard's commit chain drains toward the ticket
+// concurrently no matter when we arrive at its gate, so by the time
+// shard j is captured, shard j+1's queue has been draining in the
+// background — visiting in order costs roughly the slowest single
+// chain, and none of the per-shard goroutine fan-out.
 func (db *DB) NewSnapshot() (*Snapshot, error) {
-	// The write half of the apply barrier: no cross-shard Apply is
-	// mid-fan-out while the captures run (Apply holds the read half for
-	// its whole fan-out), and the simultaneous per-shard write locks in
-	// lsm.NewSnapshots make the capture a single global instant.
-	db.applyMu.Lock()
-	snaps, err := lsm.NewSnapshots(db.shards)
-	db.applyMu.Unlock()
-	if err != nil {
-		return nil, err
+	t := db.clk.allocate(db.idxAll)
+	snaps := make([]*lsm.Snapshot, len(db.shards))
+	var firstErr error
+	for j := range db.shards {
+		db.clk.waitTurn(t, j)
+		if firstErr == nil {
+			snaps[j], firstErr = db.shards[j].NewSnapshotAt(t.epoch)
+		}
+		db.clk.shardDone(t, j)
+	}
+	db.clk.finish(t)
+	if firstErr != nil {
+		for _, s := range snaps {
+			if s != nil {
+				s.Close()
+			}
+		}
+		return nil, firstErr
 	}
 	db.openSnaps.Add(1)
-	return &Snapshot{db: db, snaps: snaps}, nil
+	return &Snapshot{db: db, snaps: snaps, epoch: t.epoch}, nil
 }
+
+// Epoch reports the snapshot's position in the store-wide commit order:
+// the snapshot observes exactly the batches whose epoch is below it.
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
 
 // Get returns the value stored under key as of the snapshot, or
 // lsm.ErrNotFound; lsm.ErrSnapshotClosed after Close.

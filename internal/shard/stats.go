@@ -69,6 +69,14 @@ type ShardStat struct {
 	DiskBytes int64
 	// WA and RA are the shard's own write and read amplification.
 	WA, RA float64
+	// OpenSnapshots is the shard's live snapshot-pin count;
+	// LeakedSnapshots counts pins the finalizer reclaimed instead of an
+	// explicit Close; OverlayEntries is how many preserved old versions
+	// the shard's snapshot overlay holds right now. Together they make
+	// snapshot hygiene observable per shard instead of internal-only.
+	OpenSnapshots   int
+	LeakedSnapshots int64
+	OverlayEntries  int
 }
 
 // ShardStats reports every shard's share of the load, in shard order.
@@ -80,12 +88,15 @@ func (db *DB) ShardStats() []ShardStat {
 	for i, s := range db.shards {
 		m := s.Metrics()
 		st := ShardStat{
-			Shard:      i,
-			Writes:     m.UserWrites,
-			WriteBytes: m.UserBytes,
-			Reads:      m.UserReads,
-			WA:         m.WriteAmplification(),
-			RA:         m.ReadAmplification(),
+			Shard:           i,
+			Writes:          m.UserWrites,
+			WriteBytes:      m.UserBytes,
+			Reads:           m.UserReads,
+			WA:              m.WriteAmplification(),
+			RA:              m.ReadAmplification(),
+			OpenSnapshots:   s.OpenSnapshots(),
+			LeakedSnapshots: s.LeakedSnapshots(),
+			OverlayEntries:  s.OverlaySize(),
 		}
 		for _, n := range s.NumLevelFiles() {
 			st.Files += n
@@ -124,10 +135,33 @@ func (db *DB) Stats() string {
 		fmt.Fprintf(&b, "block cache: %d hits, %d misses (%.1f%% hit rate)\n",
 			hits, misses, 100*float64(hits)/float64(hits+misses))
 	}
-	fmt.Fprintf(&b, "per-shard balance (writes/reads/files/disk, WA, RA):\n")
+	fmt.Fprintf(&b, "commit epoch: %d  snapshots: %d open, %d leaked  overlay: %d entries\n",
+		db.CommittedEpoch(), db.OpenSnapshots(), db.LeakedSnapshots(), db.OverlayEntries())
+	fmt.Fprintf(&b, "per-shard balance (writes/reads/files/disk, WA, RA, snaps, overlay):\n")
 	for _, st := range db.ShardStats() {
-		fmt.Fprintf(&b, "  s%d: writes=%d (%d B) reads=%d files=%d disk=%d B  WA=%.2f RA=%.2f\n",
-			st.Shard, st.Writes, st.WriteBytes, st.Reads, st.Files, st.DiskBytes, st.WA, st.RA)
+		fmt.Fprintf(&b, "  s%d: writes=%d (%d B) reads=%d files=%d disk=%d B  WA=%.2f RA=%.2f  snaps=%d/%d leaked  overlay=%d\n",
+			st.Shard, st.Writes, st.WriteBytes, st.Reads, st.Files, st.DiskBytes, st.WA, st.RA,
+			st.OpenSnapshots, st.LeakedSnapshots, st.OverlayEntries)
 	}
 	return b.String()
+}
+
+// LeakedSnapshots reports, summed across shards, how many snapshot pins
+// were reclaimed by a finalizer instead of an explicit Close.
+func (db *DB) LeakedSnapshots() int64 {
+	var n int64
+	for _, s := range db.shards {
+		n += s.LeakedSnapshots()
+	}
+	return n
+}
+
+// OverlayEntries reports, summed across shards, how many preserved old
+// versions the snapshot overlays currently hold.
+func (db *DB) OverlayEntries() int {
+	n := 0
+	for _, s := range db.shards {
+		n += s.OverlaySize()
+	}
+	return n
 }

@@ -118,14 +118,23 @@ type Iterator interface {
 
 // Snapshot is a pinned, point-in-time read view of the whole store; see
 // DB.NewSnapshot. Reads on it never observe later writes; on a sharded
-// store the view is captured at one global instant, so a cross-shard
-// Apply batch is either entirely visible or entirely invisible. A
-// snapshot pins memory and on-disk files until Close.
+// store the view is pinned at one epoch of the store-wide commit clock,
+// so a cross-shard Apply batch is either entirely visible or entirely
+// invisible, and concurrent conflicting batches appear in their
+// serialized epoch order. A snapshot pins memory and on-disk files
+// until Close.
 type Snapshot struct {
 	get     func(key []byte) ([]byte, error)
 	newIter func(start, limit []byte) (Iterator, error)
 	close   func() error
+	epoch   uint64
 }
+
+// Epoch reports the snapshot's position in the store's total commit
+// order: the snapshot observes exactly the commits at or below it. On
+// an unsharded store this is the engine's sequence number — the same
+// clock, viewed from one shard.
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
 
 // Get returns the value stored under key as of the snapshot, or
 // ErrNotFound; ErrSnapshotClosed after Close.
@@ -225,7 +234,7 @@ func Open(o Options) (*DB, error) {
 		return &DB{
 			inner:   inner,
 			newIter: wrapIter(inner.NewIterator),
-			newSnap: wrapSnap(inner.NewSnapshot, (*shard.Snapshot).NewIterator),
+			newSnap: wrapSnap(inner.NewSnapshot, (*shard.Snapshot).NewIterator, (*shard.Snapshot).Epoch),
 		}, nil
 	}
 	inner, err := lsm.Open(opts)
@@ -235,7 +244,7 @@ func Open(o Options) (*DB, error) {
 	return &DB{
 		inner:   inner,
 		newIter: wrapIter(inner.NewIterator),
-		newSnap: wrapSnap(inner.NewSnapshot, (*lsm.Snapshot).NewIterator),
+		newSnap: wrapSnap(inner.NewSnapshot, (*lsm.Snapshot).NewIterator, (*lsm.Snapshot).Seq),
 	}, nil
 }
 
@@ -254,13 +263,13 @@ func wrapIter[I Iterator](newIter func(start, limit []byte) (I, error)) func(sta
 }
 
 // wrapSnap adapts a backend's snapshot constructor (and its iterator
-// method) to the public Snapshot wrapper — shared by the sharded and
-// unsharded backends, whose snapshot APIs are structurally identical
-// but nominally distinct types.
+// and epoch methods) to the public Snapshot wrapper — shared by the
+// sharded and unsharded backends, whose snapshot APIs are structurally
+// identical but nominally distinct types.
 func wrapSnap[S interface {
 	Get(key []byte) ([]byte, error)
 	Close() error
-}, I Iterator](newSnap func() (S, error), newIter func(S, []byte, []byte) (I, error)) func() (*Snapshot, error) {
+}, I Iterator](newSnap func() (S, error), newIter func(S, []byte, []byte) (I, error), epoch func(S) uint64) func() (*Snapshot, error) {
 	return func() (*Snapshot, error) {
 		s, err := newSnap()
 		if err != nil {
@@ -272,6 +281,7 @@ func wrapSnap[S interface {
 				return newIter(s, start, limit)
 			}),
 			close: s.Close,
+			epoch: epoch(s),
 		}, nil
 	}
 }
