@@ -521,6 +521,33 @@ func BenchmarkNetThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkNetObsOverhead is the acceptance benchmark for the
+// observability layer: the same 8-connection net experiment with the
+// full instrumentation (per-command histograms, stage timing, event
+// journal, apply latency) against the -no-observability configuration
+// where every recorder is nil. The instrumented kops must stay within
+// a few percent of no-op recording — compare the two cells' kops.
+func BenchmarkNetObsOverhead(b *testing.B) {
+	s := benchScale()
+	s.Keys = 20_000
+	s.Ops = 40_000
+	for _, v := range []struct {
+		name  string
+		noObs bool
+	}{{"instrumented", false}, {"no-op", true}} {
+		b.Run(v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := harness.NetRun(s, 4, 8, false, v.noObs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.KOPS, "kops")
+				b.ReportMetric(float64(res.P99.Nanoseconds())/1000, "p99_us")
+			}
+		})
+	}
+}
+
 // BenchmarkCommitPipeline measures the store-wide commit pipeline under
 // contention. apply/cross-w4 drives four goroutines issuing conflicting
 // cross-shard batches (every batch writes the same key set spanning all

@@ -30,6 +30,8 @@ import (
 	"time"
 
 	triad "repro"
+	"repro/internal/histogram"
+	"repro/internal/obs"
 	"repro/internal/shutdown"
 	"repro/internal/vfs"
 	"repro/internal/workload"
@@ -121,6 +123,15 @@ func main() {
 			// per-shard balance table.
 			fmt.Print(db.Stats())
 		}
+		if h := db.ApplyLatency(); h != nil && h.Count() > 0 {
+			printQuantiles("apply latency", h.Snapshot())
+		}
+		if j := db.Events(); j != nil && j.Total() > 0 {
+			fmt.Printf("background events (%d total, newest first):\n", j.Total())
+			for _, e := range j.Events(5) {
+				fmt.Println(" ", e)
+			}
+		}
 	case "bench":
 		fsBench := flag.NewFlagSet("bench", flag.ExitOnError)
 		n := fsBench.Int64("n", 100_000, "operations")
@@ -133,6 +144,7 @@ func main() {
 		// so the deferred Close flushes buffered work to disk.
 		ctx, stop := shutdown.Notify()
 		defer stop()
+		getLat, putLat := obs.NewHist(), obs.NewHist()
 		start := time.Now()
 		done := int64(0)
 		for ; done < *n; done++ {
@@ -141,20 +153,39 @@ func main() {
 				break
 			}
 			op := stream.Next()
+			opStart := time.Now()
 			if op.Read {
 				if _, err := db.Get(op.Key); err != nil && !errors.Is(err, triad.ErrNotFound) {
 					fatalIf(err)
 				}
+				getLat.Record(time.Since(opStart))
 			} else {
 				fatalIf(db.Put(op.Key, op.Value))
+				putLat.Record(time.Since(opStart))
 			}
 		}
 		el := time.Since(start)
 		fmt.Printf("%d ops in %s = %.1f KOPS\n", done, el.Round(time.Millisecond), float64(done)/el.Seconds()/1000)
+		printQuantiles("get latency", getLat.Snapshot())
+		printQuantiles("put latency", putLat.Snapshot())
+		if h := db.ApplyLatency(); h != nil {
+			printQuantiles("apply latency", h.Snapshot())
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "unknown command %q\n", args[0])
 		os.Exit(2)
 	}
+}
+
+// printQuantiles renders one latency distribution as a quantile line;
+// empty distributions print nothing.
+func printQuantiles(name string, h histogram.H) {
+	if h.Count() == 0 {
+		return
+	}
+	fmt.Printf("%s: n=%d p50=%s p90=%s p99=%s p99.9=%s max=%s\n",
+		name, h.Count(), h.Quantile(0.50), h.Quantile(0.90),
+		h.Quantile(0.99), h.Quantile(0.999), h.Max())
 }
 
 func need(args []string, n int, usage string) {

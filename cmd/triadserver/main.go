@@ -67,7 +67,10 @@ func run(args []string, stdout, stderr io.Writer, ready func(addr string)) int {
 		commitOps   = fs.Int("commit-ops", 4096, "commit the pending group at this many operations")
 		commitBytes = fs.Int64("commit-bytes", 1<<20, "commit the pending group at this many payload bytes")
 		commitPipe  = fs.Int("commit-pipeline", 4, "sealed write groups applying concurrently (epoch order keeps them serialized; 1 = one apply at a time)")
-		metricsAddr = fs.String("metrics", "", "HTTP listen address for the plain-text /metrics and /stats dump (empty: disabled)")
+		metricsAddr = fs.String("metrics", "", "HTTP listen address for the Prometheus /metrics and /stats dump (empty: disabled)")
+		enablePprof = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof on the -metrics listener (off by default: profiling endpoints let any client with HTTP access run CPU/heap captures, so bind -metrics to localhost when enabling)")
+		noObs       = fs.Bool("no-observability", false, "disable latency histograms, stage timing, event journal and slowlog (overhead comparison)")
+		slowlogThr  = fs.Duration("slowlog-threshold", 10*time.Millisecond, "record commands slower than this in SLOWLOG (negative: disable the slowlog)")
 		cursorTTL   = fs.Duration("cursor-ttl", 60*time.Second, "close idle SCAN cursors (and release their pinned snapshots) after this long")
 		maxCursors  = fs.Int("max-cursors", 16, "cap on open SCAN cursors per connection")
 	)
@@ -75,20 +78,22 @@ func run(args []string, stdout, stderr io.Writer, ready func(addr string)) int {
 		return 2
 	}
 
-	db, err := openStore(*dir, *baseline, *syncWAL, *shards, *partitioner, *splits)
+	db, err := openStore(*dir, *baseline, *syncWAL, *shards, *partitioner, *splits, *noObs)
 	if err != nil {
 		fmt.Fprintln(stderr, "triadserver:", err)
 		return 1
 	}
 
 	srv := server.New(db, server.Config{
-		DisableGroupCommit: *noGC,
-		CommitDelay:        *commitDelay,
-		CommitMaxOps:       *commitOps,
-		CommitMaxBytes:     *commitBytes,
-		CommitPipeline:     *commitPipe,
-		CursorTTL:          *cursorTTL,
-		MaxCursorsPerConn:  *maxCursors,
+		DisableGroupCommit:   *noGC,
+		CommitDelay:          *commitDelay,
+		CommitMaxOps:         *commitOps,
+		CommitMaxBytes:       *commitBytes,
+		CommitPipeline:       *commitPipe,
+		CursorTTL:            *cursorTTL,
+		MaxCursorsPerConn:    *maxCursors,
+		DisableObservability: *noObs,
+		SlowlogThreshold:     *slowlogThr,
 		Logf: func(format string, a ...any) {
 			fmt.Fprintf(stderr, format+"\n", a...)
 		},
@@ -110,7 +115,7 @@ func run(args []string, stdout, stderr io.Writer, ready func(addr string)) int {
 			db.Close()
 			return 1
 		}
-		metricsSrv = &http.Server{Handler: srv.MetricsHandler()}
+		metricsSrv = &http.Server{Handler: srv.MetricsHandler(*enablePprof)}
 		go metricsSrv.Serve(mln)
 		fmt.Fprintf(stdout, "metrics on http://%s/metrics\n", mln.Addr())
 	}
@@ -174,7 +179,7 @@ func run(args []string, stdout, stderr io.Writer, ready func(addr string)) int {
 // openStore opens the sharded engine the server fronts. The shard layer
 // is used even at one shard so STATS carries the per-shard table and
 // durable stores get the STORE metadata validation.
-func openStore(dir string, baseline, syncWAL bool, shards int, partitioner, splits string) (*shard.DB, error) {
+func openStore(dir string, baseline, syncWAL bool, shards int, partitioner, splits string, noObs bool) (*shard.DB, error) {
 	engine := lsm.TriadOptions(nil)
 	if baseline {
 		engine = lsm.DefaultOptions(nil)
@@ -228,9 +233,10 @@ func openStore(dir string, baseline, syncWAL bool, shards int, partitioner, spli
 		}
 	}
 	return shard.Open(shard.Options{
-		Shards:      shards,
-		Engine:      engine,
-		NewFS:       newFS,
-		Partitioner: part,
+		Shards:               shards,
+		Engine:               engine,
+		NewFS:                newFS,
+		Partitioner:          part,
+		DisableObservability: noObs,
 	})
 }

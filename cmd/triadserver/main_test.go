@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"strings"
 	"sync"
@@ -41,7 +43,7 @@ func TestServerSmoke(t *testing.T) {
 	exit := make(chan int, 1)
 	go func() {
 		exit <- run(
-			[]string{"-addr", "127.0.0.1:0", "-shards", "2", "-commit-delay", "100us"},
+			[]string{"-addr", "127.0.0.1:0", "-shards", "2", "-commit-delay", "100us", "-metrics", "127.0.0.1:0"},
 			&stdout, &stderr,
 			func(addr string) { ready <- addr },
 		)
@@ -114,6 +116,60 @@ func TestServerSmoke(t *testing.T) {
 	// Paging through everything still works end to end.
 	if ks, _, err := c.ScanAll([]byte("smoke-"), []byte("smoke-z")); err != nil || len(ks) != n {
 		t.Fatalf("ScanAll: %d keys, %v", len(ks), err)
+	}
+
+	// Scrape /metrics after the traffic above: the exposition must carry
+	// the latency histograms (with buckets), the commit-stage timings,
+	// and the per-shard gauges for both shards.
+	var metricsURL string
+	for _, line := range strings.Split(stdout.String(), "\n") {
+		if rest, ok := strings.CutPrefix(line, "metrics on "); ok {
+			metricsURL = rest
+		}
+	}
+	if metricsURL == "" {
+		t.Fatalf("no metrics address in stdout:\n%s", stdout.String())
+	}
+	res, err := http.Get(metricsURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(res.Body)
+	res.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := res.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("metrics Content-Type = %q", ct)
+	}
+	dump := string(body)
+	for _, want := range []string{
+		`triad_cmd_latency_seconds_bucket{cmd="set",le="+Inf"}`,
+		`triad_cmd_latency_seconds_bucket{cmd="get",le="+Inf"}`,
+		`triad_commit_stage_latency_seconds_bucket{stage="coalesce",le="+Inf"}`,
+		`triad_commit_stage_latency_seconds_bucket{stage="commit",le="+Inf"}`,
+		`triad_apply_latency_seconds_count`,
+		`triad_shard_hot_budget{shard="0"}`,
+		`triad_shard_write_amplification{shard="1"}`,
+		"triad_user_writes_total",
+		"# TYPE triad_cmd_latency_seconds histogram",
+	} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("metrics dump missing %s", want)
+		}
+	}
+	// The SETs above must be visible in the set-family histogram.
+	if !strings.Contains(dump, `triad_cmd_latency_seconds_count{cmd="set"} `+fmt.Sprint(n)) {
+		t.Errorf("set latency count != %d in dump", n)
+	}
+	// Profiling stays off without -pprof.
+	if res, err := http.Get(metricsURL[:strings.LastIndex(metricsURL, "/")] + "/debug/pprof/"); err != nil {
+		t.Fatal(err)
+	} else {
+		res.Body.Close()
+		if res.StatusCode != http.StatusNotFound {
+			t.Errorf("/debug/pprof/ without -pprof: status %d, want 404", res.StatusCode)
+		}
 	}
 
 	// Deliver a real SIGTERM to the process; run()'s handler must drain

@@ -16,9 +16,9 @@ import (
 	"time"
 
 	"repro/internal/histogram"
-
 	"repro/internal/lsm"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/shard"
 	"repro/internal/vfs"
 	"repro/internal/workload"
@@ -182,16 +182,15 @@ func Run(spec Spec) (Result, error) {
 	var wg sync.WaitGroup
 	errCh := make(chan error, threads)
 	perWorker := spec.Ops / int64(threads)
-	// Every operation's latency is recorded in a per-worker histogram
-	// (fixed memory, ~ns record cost) and merged after the run.
-	hists := make([]*histogram.H, threads)
+	// Every operation's latency lands in one striped concurrent recorder
+	// (fixed memory, zero-alloc Record) snapshotted after the run — the
+	// same recorder the server's observability layer uses.
+	rec := obs.NewHist()
 	for w := 0; w < threads; w++ {
-		hists[w] = &histogram.H{}
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			stream := spec.Mix.NewStream(spec.Seed + int64(w)*7919)
-			h := hists[w]
 			for i := int64(0); i < perWorker; i++ {
 				op := stream.Next()
 				t0 := time.Now()
@@ -212,7 +211,7 @@ func Run(spec Spec) (Result, error) {
 						return
 					}
 				}
-				h.Record(time.Since(t0))
+				rec.Record(time.Since(t0))
 			}
 		}(w)
 	}
@@ -245,9 +244,7 @@ func Run(spec Spec) (Result, error) {
 		FlushSkips:    snap.FlushSkips,
 		Snap:          snap,
 	}
-	for _, h := range hists {
-		res.Lat.Merge(h)
-	}
+	res.Lat = rec.Snapshot()
 	res.P50 = res.Lat.Quantile(0.50)
 	res.P99 = res.Lat.Quantile(0.99)
 	res.P999 = res.Lat.Quantile(0.999)

@@ -10,7 +10,7 @@ import (
 	"time"
 
 	"repro/internal/client"
-	"repro/internal/histogram"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/shard"
 	"repro/internal/workload"
@@ -45,11 +45,11 @@ func NetThroughput(s Scale, w io.Writer) ([]Cell, error) {
 	fmt.Fprintf(tw, "Net throughput: RESP over loopback, 90%% SET / 10%% GET, pipeline depth %d, %d shards\n", netDepth, shards)
 	fmt.Fprintln(tw, "conns\tgroup KOPS\tp50\tp99\tper-op KOPS\tp50\tp99\tgain")
 	for _, conns := range connCounts {
-		on, err := runNet(s, shards, conns, false)
+		on, err := runNet(s, shards, conns, false, false)
 		if err != nil {
 			return nil, fmt.Errorf("net c=%d gc=on: %w", conns, err)
 		}
-		off, err := runNet(s, shards, conns, true)
+		off, err := runNet(s, shards, conns, true, false)
 		if err != nil {
 			return nil, fmt.Errorf("net c=%d gc=off: %w", conns, err)
 		}
@@ -63,12 +63,21 @@ func NetThroughput(s Scale, w io.Writer) ([]Cell, error) {
 	return cells, tw.Flush()
 }
 
+// NetRun measures one (connection count, commit mode, observability)
+// configuration of the net experiment. Exported for the observability
+// overhead benchmark, which compares the instrumented server against
+// the same server with nil recorders.
+func NetRun(s Scale, shards, conns int, gcOff, noObs bool) (Result, error) {
+	return runNet(s, shards, conns, gcOff, noObs)
+}
+
 // runNet measures one (connection count, commit mode) configuration.
-func runNet(s Scale, shards, conns int, gcOff bool) (Result, error) {
+func runNet(s Scale, shards, conns int, gcOff, disableObs bool) (Result, error) {
 	db, err := shard.Open(shard.Options{
-		Shards: shards,
-		Engine: shard.DivideBudgets(s.engine("triad"), shards),
-		NewFS:  shard.MemFS(),
+		Shards:               shards,
+		Engine:               shard.DivideBudgets(s.engine("triad"), shards),
+		NewFS:                shard.MemFS(),
+		DisableObservability: disableObs,
 	})
 	if err != nil {
 		return Result{}, err
@@ -86,7 +95,7 @@ func runNet(s Scale, shards, conns int, gcOff bool) (Result, error) {
 		return Result{}, err
 	}
 
-	srv := server.New(db, server.Config{DisableGroupCommit: gcOff})
+	srv := server.New(db, server.Config{DisableGroupCommit: gcOff, DisableObservability: disableObs})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return Result{}, err
@@ -101,13 +110,12 @@ func runNet(s Scale, shards, conns int, gcOff bool) (Result, error) {
 	}()
 
 	perConn := s.Ops / int64(conns)
-	hists := make([]*histogram.H, conns)
+	rec := obs.NewHist()
 	errCh := make(chan error, conns)
 	var wg sync.WaitGroup
 	start := time.Now()
 	before := db.Metrics()
 	for i := 0; i < conns; i++ {
-		hists[i] = &histogram.H{}
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
@@ -118,7 +126,6 @@ func runNet(s Scale, shards, conns int, gcOff bool) (Result, error) {
 			}
 			defer c.Close()
 			stream := mix.NewStream(1 + int64(i)*7919)
-			h := hists[i]
 			var sentAt [netDepth]time.Time
 			for done := int64(0); done < perConn; {
 				depth := int64(netDepth)
@@ -147,7 +154,7 @@ func runNet(s Scale, shards, conns int, gcOff bool) (Result, error) {
 						errCh <- err
 						return
 					}
-					h.Record(time.Since(sentAt[j]))
+					rec.Record(time.Since(sentAt[j]))
 				}
 				done += depth
 			}
@@ -173,9 +180,7 @@ func runNet(s Scale, shards, conns int, gcOff bool) (Result, error) {
 		RA:      snap.ReadAmplification(),
 		Snap:    snap,
 	}
-	for _, h := range hists {
-		res.Lat.Merge(h)
-	}
+	res.Lat = rec.Snapshot()
 	res.P50 = res.Lat.Quantile(0.50)
 	res.P99 = res.Lat.Quantile(0.99)
 	res.P999 = res.Lat.Quantile(0.999)

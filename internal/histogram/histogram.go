@@ -19,6 +19,11 @@ const (
 	subBuckets    = 1 << subBucketBits
 	// magnitudes covers 1ns .. ~2.3h.
 	magnitudes = 43
+
+	// NumBuckets is the size of H's bucket array. External recorders
+	// (internal/obs keeps one atomic counter per bucket per stripe) use
+	// it with BucketOf and FromCounts to share H's layout.
+	NumBuckets = magnitudes * subBuckets
 )
 
 // H is a latency histogram. The zero value is ready to use. It is not
@@ -28,6 +33,15 @@ type H struct {
 	total  uint64
 	min    time.Duration
 	max    time.Duration
+}
+
+// BucketOf returns the bucket index Record would count d in
+// (0 <= BucketOf(d) < NumBuckets).
+func BucketOf(d time.Duration) int {
+	if d < 0 {
+		d = 0
+	}
+	return bucketOf(d)
 }
 
 func bucketOf(d time.Duration) int {
@@ -146,6 +160,53 @@ func (h *H) Mean() time.Duration {
 		}
 	}
 	return time.Duration(sum / float64(h.total))
+}
+
+// FromCounts reconstructs a histogram from a per-bucket count array laid
+// out by BucketOf (len(counts) must be NumBuckets) plus the exact
+// observed extremes. It is how the concurrent recorder in internal/obs
+// materializes a mergeable H from its atomic stripes at scrape time.
+// Pass a negative min or max for "not tracked": it falls back to the
+// occupied buckets' representative edges so Quantile stays well-defined.
+func FromCounts(counts []uint64, min, max time.Duration) H {
+	var h H
+	first := true
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		h.counts[i] += c
+		h.total += c
+		mid := bucketMid(i)
+		if min < 0 && (first || mid < h.min) {
+			h.min = mid
+		}
+		if max < 0 && mid > h.max {
+			h.max = mid
+		}
+		first = false
+	}
+	if h.total == 0 {
+		return h
+	}
+	if min >= 0 {
+		h.min = min
+	}
+	if max >= 0 {
+		h.max = max
+	}
+	return h
+}
+
+// EachBucket calls fn for every non-empty bucket, in ascending value
+// order, with the bucket's representative upper edge and its count —
+// the iteration a Prometheus-exposition re-bucketing needs.
+func (h *H) EachBucket(fn func(upper time.Duration, count uint64)) {
+	for i, c := range h.counts {
+		if c > 0 {
+			fn(bucketMid(i), c)
+		}
+	}
 }
 
 // String renders a compact summary.

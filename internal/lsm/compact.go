@@ -1,11 +1,13 @@
 package lsm
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/compaction"
 	"repro/internal/hll"
 	"repro/internal/manifest"
+	"repro/internal/obs"
 	"repro/internal/sstable"
 	"repro/internal/wal"
 )
@@ -221,7 +223,23 @@ func (db *DB) runCompaction(job *compaction.Job) error {
 	}
 	db.met.BytesCompacted.Add(written)
 
-	return db.installCompaction(all, outputs)
+	if err := db.installCompaction(all, outputs); err != nil {
+		return err
+	}
+	var inBytes int64
+	for _, f := range all {
+		inBytes += f.Size
+	}
+	detail := fmt.Sprintf("L%d->L%d, %d outputs", job.Level, outLevel, len(outputs))
+	if job.WholeTree {
+		detail = fmt.Sprintf("size-tiered %d-way, %d outputs", len(all), len(outputs))
+	}
+	db.opts.Events.Add(obs.Event{
+		Kind: obs.EventCompaction, Shard: db.opts.EventShard, Level: job.Level,
+		Dur: time.Since(start), In: inBytes, Out: written,
+		Files: len(all), Detail: detail,
+	})
+	return nil
 }
 
 // installCompaction journals the edit, swaps the version, and removes the

@@ -16,12 +16,14 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/base"
 	"repro/internal/compaction"
 	"repro/internal/manifest"
 	"repro/internal/memtable"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sstable"
 	"repro/internal/vfs"
 	"repro/internal/wal"
@@ -339,8 +341,27 @@ func (db *DB) stallLocked() error {
 			!db.opts.DisableBackgroundIO && !db.opts.DisableAutoCompaction &&
 			int(db.l0Count.Load()) >= db.opts.L0StallFiles
 	}
+	var stallStart time.Time
+	var reason string
 	for !db.closed && (len(db.imm) > db.opts.MaxImmutableMemtables || l0Stall()) {
+		if stallStart.IsZero() {
+			stallStart = time.Now()
+			if l0Stall() {
+				reason = "l0-stop-writes"
+			} else {
+				reason = "flush-queue-full"
+			}
+		}
 		db.cond.Wait()
+	}
+	if !stallStart.IsZero() {
+		db.opts.Events.Add(obs.Event{
+			Kind:   obs.EventStall,
+			Shard:  db.opts.EventShard,
+			Level:  -1,
+			Dur:    time.Since(stallStart),
+			Detail: reason,
+		})
 	}
 	if db.closed {
 		return ErrClosed

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/manifest"
 	"repro/internal/memtable"
+	"repro/internal/obs"
 	"repro/internal/sstable"
 	"repro/internal/wal"
 )
@@ -98,6 +99,7 @@ func (db *DB) flushImmutable(imm *immutable) error {
 	start := time.Now()
 	defer func() { db.met.FlushNanos.Add(time.Since(start).Nanoseconds()) }()
 
+	inBytes := imm.mem.ApproxSize()
 	entries := imm.mem.All()
 	if len(entries) == 0 {
 		return db.dropLog(imm.log)
@@ -156,8 +158,14 @@ func (db *DB) flushImmutable(imm *immutable) error {
 		}
 	}
 	db.met.ColdEntriesFlushed.Add(int64(len(toFlush)))
+	hot := len(entries) - len(toFlush)
 	if len(toFlush) == 0 {
 		db.met.Flushes.Add(1)
+		db.opts.Events.Add(obs.Event{
+			Kind: obs.EventFlush, Shard: db.opts.EventShard, Level: -1,
+			Dur: time.Since(start), In: inBytes,
+			Detail: fmt.Sprintf("all %d entries hot, nothing reached L0", hot),
+		})
 		return db.dropLog(imm.log)
 	}
 
@@ -180,6 +188,18 @@ func (db *DB) flushImmutable(imm *immutable) error {
 	if err := db.installFlush(meta); err != nil {
 		return err
 	}
+	detail := fmt.Sprintf("%d cold entries", len(toFlush))
+	if db.opts.TriadMem {
+		detail = fmt.Sprintf("%d cold / %d hot entries", len(toFlush), hot)
+	}
+	if db.opts.TriadLog {
+		detail += ", CL-SSTable index only"
+	}
+	db.opts.Events.Add(obs.Event{
+		Kind: obs.EventFlush, Shard: db.opts.EventShard, Level: 0,
+		Dur: time.Since(start), In: inBytes, Out: written,
+		Files: 1, Detail: detail,
+	})
 	if !db.opts.TriadLog {
 		// The memtable contents are durable in the SSTable; the log can
 		// go. Under TRIAD-LOG the log *is* the table's value store and

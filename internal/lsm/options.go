@@ -3,6 +3,7 @@ package lsm
 import (
 	"repro/internal/compaction"
 	"repro/internal/memtable"
+	"repro/internal/obs"
 	"repro/internal/vfs"
 )
 
@@ -98,6 +99,14 @@ type Options struct {
 
 	// Seed drives memtable skiplist randomness.
 	Seed int64
+
+	// Events, when non-nil, receives a structured entry for every
+	// background operation (flush, compaction, snapshot zombie-GC, write
+	// stall). EventShard labels them; sharded stores pass each shard's
+	// index so a merged journal stays attributable.
+	Events *obs.Journal
+	// EventShard is the shard index stamped on emitted events.
+	EventShard int
 }
 
 // DefaultOptions returns the baseline engine configuration ("RocksDB" in

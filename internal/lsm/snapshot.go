@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/base"
 	"repro/internal/manifest"
 	"repro/internal/memtable"
+	"repro/internal/obs"
 )
 
 // ErrSnapshotClosed is returned by reads on a snapshot after Close.
@@ -264,9 +266,19 @@ func (db *DB) releaseSnapshot(s *Snapshot) {
 		}
 	}
 	db.versionMu.Unlock()
+	var freed int64
+	start := time.Now()
 	for _, f := range free {
 		db.cache.EvictTable(f.ID)
 		db.removeTableFiles(f)
+		freed += f.Size
+	}
+	if len(free) > 0 {
+		db.opts.Events.Add(obs.Event{
+			Kind: obs.EventSnapshotGC, Shard: db.opts.EventShard, Level: -1,
+			Dur: time.Since(start), In: freed, Files: len(free),
+			Detail: "zombie tables reclaimed",
+		})
 	}
 }
 

@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/histogram"
+)
+
+// ContentType is the Prometheus text-exposition content type a /metrics
+// handler must send.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// LatencyBuckets are the exposition upper bounds, in seconds, that the
+// full-resolution recorder is folded into for /metrics: a 1-2.5-5 decade
+// ladder from 1µs to 10s. The recorder itself keeps ~1.6% relative
+// resolution; only the scrape is coarse.
+var LatencyBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6,
+	1e-5, 2.5e-5, 5e-5,
+	1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3,
+	1e-2, 2.5e-2, 5e-2,
+	0.1, 0.25, 0.5,
+	1, 2.5, 5, 10,
+}
+
+// Prom accumulates a Prometheus text-format dump: every series is
+// preceded by its # HELP and # TYPE lines exactly once, names are
+// triad_* snake_case by construction of the call sites, and histograms
+// get the full _bucket/_sum/_count treatment.
+type Prom struct {
+	w    io.Writer
+	seen map[string]bool
+}
+
+// NewProm returns a writer emitting to w.
+func NewProm(w io.Writer) *Prom { return &Prom{w: w, seen: make(map[string]bool)} }
+
+// header writes # HELP / # TYPE once per metric name.
+func (p *Prom) header(name, typ, help string) {
+	if p.seen[name] {
+		return
+	}
+	p.seen[name] = true
+	fmt.Fprintf(p.w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+func labeled(name, labels string) string {
+	if labels == "" {
+		return name
+	}
+	return name + "{" + labels + "}"
+}
+
+// Counter emits one counter sample. labels is a pre-rendered
+// `k="v",...` list or empty.
+func (p *Prom) Counter(name, help, labels string, v int64) {
+	p.header(name, "counter", help)
+	fmt.Fprintf(p.w, "%s %d\n", labeled(name, labels), v)
+}
+
+// Gauge emits one integer gauge sample.
+func (p *Prom) Gauge(name, help, labels string, v int64) {
+	p.header(name, "gauge", help)
+	fmt.Fprintf(p.w, "%s %d\n", labeled(name, labels), v)
+}
+
+// GaugeF emits one float gauge sample.
+func (p *Prom) GaugeF(name, help, labels string, v float64) {
+	p.header(name, "gauge", help)
+	fmt.Fprintf(p.w, "%s %g\n", labeled(name, labels), v)
+}
+
+// Histogram emits a full histogram series — cumulative _bucket samples
+// over LatencyBuckets plus +Inf, _sum (seconds) and _count — from one
+// recorder's snapshot. A nil hist emits an all-zero series, so a scrape
+// always carries every declared series regardless of traffic.
+func (p *Prom) Histogram(name, help, labels string, hist *Hist) {
+	var h histogram.H
+	var sum time.Duration
+	if hist != nil {
+		h = hist.Snapshot()
+		sum = hist.Sum()
+	}
+	p.header(name, "histogram", help)
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	// Fold the fine log-linear buckets into the exposition ladder:
+	// each recorder bucket lands in the first bound at or above its
+	// representative upper edge, so cumulative counts stay exact with
+	// respect to the recorder's own resolution.
+	counts := make([]uint64, len(LatencyBuckets))
+	var over uint64
+	h.EachBucket(func(upper time.Duration, c uint64) {
+		sec := upper.Seconds()
+		for i, b := range LatencyBuckets {
+			if sec <= b {
+				counts[i] += c
+				return
+			}
+		}
+		over += c
+	})
+	var cum uint64
+	for i, b := range LatencyBuckets {
+		cum += counts[i]
+		fmt.Fprintf(p.w, "%s_bucket{%s%sle=\"%g\"} %d\n", name, labels, sep, b, cum)
+	}
+	cum += over
+	fmt.Fprintf(p.w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, cum)
+	fmt.Fprintf(p.w, "%s_sum%s %g\n", name, maybeBraces(labels), sum.Seconds())
+	fmt.Fprintf(p.w, "%s_count%s %d\n", name, maybeBraces(labels), cum)
+}
+
+func maybeBraces(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}

@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SlowEntry is one command that exceeded the slowlog threshold.
+type SlowEntry struct {
+	// ID numbers slow entries in observation order (1-based).
+	ID   uint64
+	Time time.Time
+	Dur  time.Duration
+	// Cmd is the command family name; Key is a copy of the command's
+	// first key (truncated), enough to find the offender.
+	Cmd string
+	Key string
+}
+
+// String renders the entry as one greppable line.
+func (e SlowEntry) String() string {
+	return fmt.Sprintf("#%d %s %s %s %q", e.ID, e.Time.Format("15:04:05.000"), e.Dur.Round(time.Microsecond), e.Cmd, e.Key)
+}
+
+// maxSlowKeyBytes bounds the key preview a slow entry copies.
+const maxSlowKeyBytes = 64
+
+// SlowLog keeps the most recent N commands slower than a threshold,
+// redis-SLOWLOG style. Observe's fast path — the one every command
+// takes — is a nil test and one atomic load; the ring mutex and the key
+// copy are only touched by commands that were already slow. A nil
+// *SlowLog records nothing.
+type SlowLog struct {
+	thresh atomic.Int64 // nanoseconds
+	mu     sync.Mutex
+	ring   []SlowEntry
+	next   uint64
+	since  uint64 // next at the last Reset; earlier entries are dropped
+}
+
+// NewSlowLog returns a slowlog keeping n entries over threshold.
+func NewSlowLog(n int, threshold time.Duration) *SlowLog {
+	if n <= 0 {
+		n = 128
+	}
+	l := &SlowLog{ring: make([]SlowEntry, n)}
+	l.thresh.Store(int64(threshold))
+	return l
+}
+
+// Observe records the command if it exceeded the threshold. key may be
+// nil; it is copied (truncated to a preview) only on the slow path.
+func (l *SlowLog) Observe(cmd string, key []byte, d time.Duration) {
+	if l == nil || int64(d) < l.thresh.Load() {
+		return
+	}
+	if len(key) > maxSlowKeyBytes {
+		key = key[:maxSlowKeyBytes]
+	}
+	e := SlowEntry{Time: time.Now(), Dur: d, Cmd: cmd, Key: string(key)}
+	l.mu.Lock()
+	l.next++
+	e.ID = l.next
+	l.ring[(l.next-1)%uint64(len(l.ring))] = e
+	l.mu.Unlock()
+}
+
+// Threshold reports the current slow threshold.
+func (l *SlowLog) Threshold() time.Duration {
+	if l == nil {
+		return 0
+	}
+	return time.Duration(l.thresh.Load())
+}
+
+// Total reports how many slow commands were ever observed.
+func (l *SlowLog) Total() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.next
+}
+
+// Entries returns up to max retained entries, newest first (max <= 0:
+// all retained).
+func (l *SlowLog) Entries(max int) []SlowEntry {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := l.next - l.since
+	if n > uint64(len(l.ring)) {
+		n = uint64(len(l.ring))
+	}
+	if max > 0 && uint64(max) < n {
+		n = uint64(max)
+	}
+	out := make([]SlowEntry, 0, n)
+	for i := uint64(0); i < n; i++ {
+		out = append(out, l.ring[(l.next-1-i)%uint64(len(l.ring))])
+	}
+	return out
+}
+
+// Reset drops the retained entries; lifetime IDs keep counting.
+func (l *SlowLog) Reset() {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.since = l.next
+	l.mu.Unlock()
+}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/base"
 	"repro/internal/lsm"
+	"repro/internal/obs"
 )
 
 // pending is one group of writes awaiting a shared commit. Connections
@@ -45,6 +46,7 @@ type pending struct {
 type committer struct {
 	store Store
 	cfg   Config
+	ob    *serverObs // nil when observability is disabled
 
 	mu     sync.Mutex
 	cur    *pending
@@ -61,10 +63,11 @@ type committer struct {
 	ops     atomic.Int64
 }
 
-func newCommitter(store Store, cfg Config) *committer {
+func newCommitter(store Store, cfg Config, ob *serverObs) *committer {
 	c := &committer{
 		store:    store,
 		cfg:      cfg,
+		ob:       ob,
 		kick:     make(chan struct{}, 1),
 		full:     make(chan struct{}, 1),
 		quit:     make(chan struct{}),
@@ -163,6 +166,14 @@ func (c *committer) commit() {
 		<-c.inflight
 		return
 	}
+	// Stage timing: coalesce is group open -> detach (the batching
+	// window, pipeline-slot wait included), epoch_wait is detach ->
+	// ticket assigned, commit is ticket -> durable.
+	var detached time.Time
+	if c.ob != nil {
+		detached = time.Now()
+		c.ob.stage[obs.StageCoalesce].Record(detached.Sub(pb.start))
+	}
 	cm, err := c.store.Prepare(&pb.batch)
 	if err != nil {
 		pb.err = err
@@ -173,6 +184,11 @@ func (c *committer) commit() {
 	}
 	pb.epoch = cm.Epoch()
 	close(pb.sealed)
+	var prepared time.Time
+	if c.ob != nil {
+		prepared = time.Now()
+		c.ob.stage[obs.StageEpochWait].Record(prepared.Sub(detached))
+	}
 	// Bounded pipelining: the loop goes back to coalescing while up to
 	// CommitPipeline prepared groups apply concurrently. Their epochs
 	// are already ordered, so the store commits them in sealing order on
@@ -181,6 +197,9 @@ func (c *committer) commit() {
 	go func() {
 		defer c.cwg.Done()
 		pb.err = cm.Commit()
+		if c.ob != nil {
+			c.ob.stage[obs.StageCommit].Record(time.Since(prepared))
+		}
 		c.batches.Add(1)
 		c.ops.Add(int64(pb.batch.Len()))
 		close(pb.done)

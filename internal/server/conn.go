@@ -12,16 +12,27 @@ import (
 
 	"repro/internal/base"
 	"repro/internal/lsm"
+	"repro/internal/obs"
 	"repro/internal/resp"
 )
 
 // reply is one slot in a connection's in-order response queue. Either it
 // is ready (v), or it waits on a group commit (pb) and resolves to ok or
 // to the batch's error.
+//
+// Tracked replies carry their command's family, start time and first
+// key; the writer records the latency when the reply resolves — which
+// for group-committed writes is the moment the batch is durable, so the
+// measured time is what the client actually waited server-side.
 type reply struct {
 	v  resp.Value
 	pb *pending
 	ok resp.Value
+
+	fam     obs.Family
+	start   time.Time
+	key     []byte
+	tracked bool
 }
 
 // conn is one client connection: a reader goroutine parses and executes
@@ -76,6 +87,7 @@ func (c *conn) serve() {
 }
 
 func (c *conn) writeLoop() {
+	ob := c.srv.ob
 	for rep := range c.replies {
 		if rep.pb != nil {
 			<-rep.pb.done
@@ -87,10 +99,21 @@ func (c *conn) writeLoop() {
 		} else {
 			c.w.WriteValue(rep.v)
 		}
+		if rep.tracked {
+			ob.observe(rep.fam, rep.key, rep.start)
+		}
 		// Flush when the pipeline is momentarily empty: one syscall per
 		// burst instead of one per reply.
 		if len(c.replies) == 0 {
-			if c.w.Flush() != nil {
+			var fs time.Time
+			if ob != nil {
+				fs = time.Now()
+			}
+			err := c.w.Flush()
+			if ob != nil {
+				ob.stage[obs.StageReplyFlush].Record(time.Since(fs))
+			}
+			if err != nil {
 				// Client gone: closing the socket unblocks the reader;
 				// keep draining the queue so it never blocks either.
 				c.nc.Close()
@@ -125,8 +148,18 @@ func (c *conn) readLoop() {
 // send queues an already-resolved reply.
 func (c *conn) send(v resp.Value) { c.replies <- reply{v: v} }
 
+// sendTracked queues a resolved reply whose latency the writer records
+// at send time under the command's family.
+func (c *conn) sendTracked(v resp.Value, fam obs.Family, start time.Time, key []byte) {
+	c.replies <- reply{v: v, fam: fam, start: start, key: key, tracked: c.srv.ob != nil}
+}
+
 // dispatch executes one parsed command. Commands are case-insensitive.
 func (c *conn) dispatch(args [][]byte) {
+	var start time.Time
+	if c.srv.ob != nil {
+		start = time.Now()
+	}
 	switch cmd := asciiUpper(args[0]); cmd {
 	case "PING":
 		if len(args) > 1 {
@@ -142,7 +175,7 @@ func (c *conn) dispatch(args [][]byte) {
 			return
 		}
 		c.barrier()
-		c.send(c.get(args[1]))
+		c.sendTracked(c.get(args[1]), obs.FamGet, start, args[1])
 	case "MGET":
 		if !c.wantArgs(args, 2, -1, "MGET key [key ...]") {
 			return
@@ -152,12 +185,12 @@ func (c *conn) dispatch(args [][]byte) {
 		for _, k := range args[1:] {
 			elems = append(elems, c.get(k))
 		}
-		c.send(resp.Array(elems...))
+		c.sendTracked(resp.Array(elems...), obs.FamMGet, start, args[1])
 	case "SET":
 		if !c.wantArgs(args, 3, 3, "SET key value") {
 			return
 		}
-		c.write(args[1:2], []base.Entry{{Key: args[1], Value: args[2], Kind: base.KindSet}}, resp.Simple("OK"))
+		c.write(args[1:2], []base.Entry{{Key: args[1], Value: args[2], Kind: base.KindSet}}, resp.Simple("OK"), obs.FamSet, start)
 	case "DEL":
 		if !c.wantArgs(args, 2, -1, "DEL key [key ...]") {
 			return
@@ -169,7 +202,7 @@ func (c *conn) dispatch(args [][]byte) {
 		// Replies with the number of tombstones written, not the redis
 		// "keys that existed" count — existence would cost a read per
 		// key on an LSM.
-		c.write(args[1:], entries, resp.Int(int64(len(entries))))
+		c.write(args[1:], entries, resp.Int(int64(len(entries))), obs.FamDel, start)
 	case "MSET":
 		if len(args) < 3 || len(args)%2 != 1 {
 			c.send(resp.Error("ERR wrong number of arguments: MSET key value [key value ...]"))
@@ -181,7 +214,7 @@ func (c *conn) dispatch(args [][]byte) {
 			keys = append(keys, args[i])
 			entries = append(entries, base.Entry{Key: args[i], Value: args[i+1], Kind: base.KindSet})
 		}
-		c.write(keys, entries, resp.Simple("OK"))
+		c.write(keys, entries, resp.Simple("OK"), obs.FamMSet, start)
 	case "SCAN":
 		// Subcommand forms first: SCAN CONT <cursor> [count] resumes a
 		// server-side cursor, SCAN CLOSE <cursor> releases one. The
@@ -195,7 +228,7 @@ func (c *conn) dispatch(args [][]byte) {
 				if !c.wantArgs(args, 3, 4, "SCAN CONT cursor [count]") {
 					return
 				}
-				c.scanCont(args[2], args[3:])
+				c.scanCont(args[2], args[3:], start)
 				return
 			case "CLOSE":
 				if !c.wantArgs(args, 3, 3, "SCAN CLOSE cursor") {
@@ -209,7 +242,17 @@ func (c *conn) dispatch(args [][]byte) {
 			return
 		}
 		c.barrier()
-		c.scan(args[1:])
+		c.scan(args[1:], start)
+	case "EVENTS":
+		if !c.wantArgs(args, 1, 2, "EVENTS [count]") {
+			return
+		}
+		c.events(args[1:])
+	case "SLOWLOG":
+		if !c.wantArgs(args, 1, 3, "SLOWLOG [GET [count] | LEN | RESET]") {
+			return
+		}
+		c.slowlog(args[1:])
 	case "STATS":
 		if !c.wantArgs(args, 1, 1, "STATS") {
 			return
@@ -277,12 +320,16 @@ func (c *conn) get(key []byte) resp.Value {
 // directly when group commit is off). Keys are validated here, before
 // they can reach the shared batch: one connection's empty key must fail
 // that connection's command, not everybody's group.
-func (c *conn) write(keys [][]byte, entries []base.Entry, ok resp.Value) {
+func (c *conn) write(keys [][]byte, entries []base.Entry, ok resp.Value, fam obs.Family, start time.Time) {
 	for _, k := range keys {
 		if len(k) == 0 {
 			c.send(resp.Error("ERR empty key"))
 			return
 		}
+	}
+	var key []byte
+	if len(keys) > 0 {
+		key = keys[0]
 	}
 	if c.srv.gc == nil {
 		var b lsm.Batch
@@ -293,7 +340,7 @@ func (c *conn) write(keys [][]byte, entries []base.Entry, ok resp.Value) {
 			c.send(resp.Error(fmtErr(err)))
 			return
 		}
-		c.send(ok)
+		c.sendTracked(ok, fam, start, key)
 		return
 	}
 	pb, err := c.srv.gc.enqueue(entries)
@@ -302,7 +349,7 @@ func (c *conn) write(keys [][]byte, entries []base.Entry, ok resp.Value) {
 		return
 	}
 	c.lastWrite = pb
-	c.replies <- reply{pb: pb, ok: ok}
+	c.replies <- reply{pb: pb, ok: ok, fam: fam, start: start, key: key, tracked: c.srv.ob != nil}
 }
 
 // scanCount parses the optional COUNT argument, capped at the server's
@@ -331,7 +378,7 @@ func (c *conn) scanCount(args [][]byte) (int, bool) {
 // TTL fires, or the connection dies. Because every page reads the same
 // pinned snapshot, paging is repeatable: concurrent writes — including
 // cross-shard batches — never appear mid-scan.
-func (c *conn) scan(args [][]byte) {
+func (c *conn) scan(args [][]byte, start0 time.Time) {
 	var start, limit []byte
 	if len(args) > 0 && len(args[0]) > 0 {
 		start = args[0]
@@ -366,14 +413,14 @@ func (c *conn) scan(args [][]byte) {
 		return
 	}
 	v, _ := c.srv.cursors.readPage(cur, count)
-	c.send(v)
+	c.sendTracked(v, obs.FamScan, start0, start)
 }
 
 // scanCont serves SCAN CONT <cursor> [count]: the next page of a
 // cursor's pinned scan. No read barrier — the whole point is that the
 // cursor reads its original snapshot, not the connection's latest
 // writes.
-func (c *conn) scanCont(id []byte, args [][]byte) {
+func (c *conn) scanCont(id []byte, args [][]byte, start0 time.Time) {
 	count, ok := c.scanCount(args)
 	if !ok {
 		return
@@ -384,7 +431,7 @@ func (c *conn) scanCont(id []byte, args [][]byte) {
 		return
 	}
 	v, _ := c.srv.cursors.readPage(cur, count)
-	c.send(v)
+	c.sendTracked(v, obs.FamScan, start0, id)
 }
 
 // scanClose serves SCAN CLOSE <cursor>: releases the cursor's iterator
@@ -397,6 +444,65 @@ func (c *conn) scanClose(id []byte) {
 	}
 	c.srv.cursors.remove(cur)
 	c.send(resp.Simple("OK"))
+}
+
+// events serves EVENTS [count]: the store's background-event journal,
+// newest first, one bulk string per event. An engine without a journal
+// (observability disabled) replies with an empty array.
+func (c *conn) events(args [][]byte) {
+	maxN := 0
+	if len(args) > 0 {
+		n, err := strconv.Atoi(string(args[0]))
+		if err != nil || n <= 0 {
+			c.send(resp.Error("ERR invalid EVENTS count"))
+			return
+		}
+		maxN = n
+	}
+	evs := c.srv.store.Events().Events(maxN)
+	elems := make([]resp.Value, 0, len(evs))
+	for _, e := range evs {
+		elems = append(elems, resp.Bulk([]byte(e.String())))
+	}
+	c.send(resp.Array(elems...))
+}
+
+// slowlog serves SLOWLOG [GET [count] | LEN | RESET] over the server's
+// slow-command ring (redis-flavored surface, same semantics).
+func (c *conn) slowlog(args [][]byte) {
+	var log *obs.SlowLog
+	if c.srv.ob != nil {
+		log = c.srv.ob.slow
+	}
+	sub := "GET"
+	if len(args) > 0 {
+		sub = asciiUpper(args[0])
+	}
+	switch sub {
+	case "GET":
+		maxN := 0
+		if len(args) > 1 {
+			n, err := strconv.Atoi(string(args[1]))
+			if err != nil || n <= 0 {
+				c.send(resp.Error("ERR invalid SLOWLOG count"))
+				return
+			}
+			maxN = n
+		}
+		entries := log.Entries(maxN)
+		elems := make([]resp.Value, 0, len(entries))
+		for _, e := range entries {
+			elems = append(elems, resp.Bulk([]byte(e.String())))
+		}
+		c.send(resp.Array(elems...))
+	case "LEN":
+		c.send(resp.Int(int64(len(log.Entries(0)))))
+	case "RESET":
+		log.Reset()
+		c.send(resp.Simple("OK"))
+	default:
+		c.send(resp.Error("ERR unknown SLOWLOG subcommand: SLOWLOG [GET [count] | LEN | RESET]"))
+	}
 }
 
 // asciiUpper uppercases a command name without allocating for the common

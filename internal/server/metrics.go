@@ -3,90 +3,172 @@ package server
 import (
 	"fmt"
 	"net/http"
+	"net/http/pprof"
+	"strconv"
 	"strings"
+
+	"repro/internal/obs"
 )
 
-// MetricsHandler returns a plain-text, Prometheus-style dump of the
-// engine counters, derived amplifications, the per-shard balance table
-// and the server's own counters — so an operator sees WA/RA and shard
-// imbalance without attaching a RESP client. Serve it on a side
-// listener:
+// MetricsHandler returns the server's HTTP side surface. Serve it on a
+// listener of its own, never the RESP port:
 //
-//	http.ListenAndServe(addr, s.MetricsHandler())
+//		http.ListenAndServe(addr, s.MetricsHandler(false))
 //
-// GET /metrics (or /) returns the counter dump; GET /stats returns the
-// human-readable Stats() text.
-func (s *Server) MetricsHandler() http.Handler {
+//	  - GET /metrics (or /) — Prometheus text exposition (format 0.0.4):
+//	    engine counters, derived amplifications, per-shard gauges, and the
+//	    latency histograms (per command family, per commit-pipeline stage,
+//	    per-batch apply).
+//	  - GET /stats — the human-readable Stats() text.
+//	  - GET /debug/events — the background-event journal, newest first
+//	    (?n=100 limits).
+//	  - GET /debug/slowlog — the slow-command ring, newest first.
+//	  - GET /debug/pprof/* — net/http/pprof, only when enablePprof; the
+//	    profiling surface can run arbitrary CPU/heap captures, so it stays
+//	    off unless the operator asked for it (triadserver -pprof).
+func (s *Server) MetricsHandler(enablePprof bool) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprint(w, s.statsText())
 	})
 	dump := func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Header().Set("Content-Type", obs.ContentType)
 		fmt.Fprint(w, s.MetricsText())
 	}
 	mux.HandleFunc("/metrics", dump)
-	mux.HandleFunc("/", dump)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		// "/" is a catch-all pattern; without this check every unknown
+		// path — including /debug/pprof/* when profiling is off — would
+		// serve the metrics dump instead of a 404.
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		dump(w, r)
+	})
+	mux.HandleFunc("/debug/events", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		maxN := 0
+		if q := r.URL.Query().Get("n"); q != "" {
+			if n, err := strconv.Atoi(q); err == nil && n > 0 {
+				maxN = n
+			}
+		}
+		j := s.store.Events()
+		fmt.Fprintf(w, "# %d events total (ring keeps the most recent)\n", j.Total())
+		for _, e := range j.Events(maxN) {
+			fmt.Fprintln(w, e)
+		}
+	})
+	mux.HandleFunc("/debug/slowlog", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		var log *obs.SlowLog
+		if s.ob != nil {
+			log = s.ob.slow
+		}
+		fmt.Fprintf(w, "# threshold %s, %d slow commands total\n", log.Threshold(), log.Total())
+		for _, e := range log.Entries(0) {
+			fmt.Fprintln(w, e)
+		}
+	})
+	if enablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
-// MetricsText renders the metrics dump (the /metrics body).
+// MetricsText renders the metrics dump (the /metrics body) in the
+// Prometheus text exposition format: every series carries # HELP and
+// # TYPE, histograms expose _bucket/_sum/_count, and per-shard series
+// are labeled {shard="N"}.
 func (s *Server) MetricsText() string {
 	var b strings.Builder
+	p := obs.NewProm(&b)
 	m := s.store.Metrics()
-	line := func(name string, v any) { fmt.Fprintf(&b, "triad_%s %v\n", name, v) }
 
-	line("user_writes_total", m.UserWrites)
-	line("user_reads_total", m.UserReads)
-	line("user_bytes_total", m.UserBytes)
-	line("bytes_logged_total", m.BytesLogged)
-	line("bytes_flushed_total", m.BytesFlushed)
-	line("bytes_compacted_total", m.BytesCompacted)
-	line("flushes_total", m.Flushes)
-	line("flush_skips_total", m.FlushSkips)
-	line("compactions_total", m.Compactions)
-	line("compactions_deferred_total", m.CompactionsDeferred)
-	fmt.Fprintf(&b, "triad_write_amplification %.4f\n", m.WriteAmplification())
-	fmt.Fprintf(&b, "triad_read_amplification %.4f\n", m.ReadAmplification())
+	p.Counter("triad_user_writes_total", "User Put/Delete operations accepted by the store.", "", m.UserWrites)
+	p.Counter("triad_user_reads_total", "User Get operations served by the store.", "", m.UserReads)
+	p.Counter("triad_user_bytes_total", "Key+value bytes written by users.", "", m.UserBytes)
+	p.Counter("triad_bytes_logged_total", "Bytes appended to commit logs.", "", m.BytesLogged)
+	p.Counter("triad_bytes_flushed_total", "Bytes written to L0 by flushes.", "", m.BytesFlushed)
+	p.Counter("triad_bytes_compacted_total", "Bytes written by compactions.", "", m.BytesCompacted)
+	p.Counter("triad_flushes_total", "Memtable flushes completed.", "", m.Flushes)
+	p.Counter("triad_flush_skips_total", "TRIAD-MEM small-memtable flush skips (commit-log rewrites).", "", m.FlushSkips)
+	p.Counter("triad_compactions_total", "Compactions completed.", "", m.Compactions)
+	p.Counter("triad_compactions_deferred_total", "TRIAD-DISK compaction deferrals (insufficient key overlap).", "", m.CompactionsDeferred)
+	p.GaugeF("triad_write_amplification", "Store-wide write amplification: (logged+flushed+compacted)/user bytes.", "", m.WriteAmplification())
+	p.GaugeF("triad_read_amplification", "Store-wide read amplification: disk reads per user read.", "", m.ReadAmplification())
 
 	for _, st := range s.store.ShardStats() {
-		fmt.Fprintf(&b, "triad_shard_writes_total{shard=\"%d\"} %d\n", st.Shard, st.Writes)
-		fmt.Fprintf(&b, "triad_shard_reads_total{shard=\"%d\"} %d\n", st.Shard, st.Reads)
-		fmt.Fprintf(&b, "triad_shard_disk_bytes{shard=\"%d\"} %d\n", st.Shard, st.DiskBytes)
-		fmt.Fprintf(&b, "triad_shard_files{shard=\"%d\"} %d\n", st.Shard, st.Files)
-		fmt.Fprintf(&b, "triad_shard_write_amplification{shard=\"%d\"} %.4f\n", st.Shard, st.WA)
-		fmt.Fprintf(&b, "triad_shard_read_amplification{shard=\"%d\"} %.4f\n", st.Shard, st.RA)
-		fmt.Fprintf(&b, "triad_shard_snapshots_open{shard=\"%d\"} %d\n", st.Shard, st.OpenSnapshots)
-		fmt.Fprintf(&b, "triad_shard_snapshots_leaked_total{shard=\"%d\"} %d\n", st.Shard, st.LeakedSnapshots)
-		fmt.Fprintf(&b, "triad_shard_overlay_entries{shard=\"%d\"} %d\n", st.Shard, st.OverlayEntries)
+		l := fmt.Sprintf("shard=%q", strconv.Itoa(st.Shard))
+		p.Counter("triad_shard_writes_total", "User write operations routed to the shard.", l, st.Writes)
+		p.Counter("triad_shard_reads_total", "User read operations routed to the shard.", l, st.Reads)
+		p.Gauge("triad_shard_disk_bytes", "On-disk table bytes held by the shard.", l, st.DiskBytes)
+		p.Gauge("triad_shard_files", "On-disk table files held by the shard.", l, int64(st.Files))
+		p.GaugeF("triad_shard_write_amplification", "The shard's own write amplification.", l, st.WA)
+		p.GaugeF("triad_shard_read_amplification", "The shard's own read amplification.", l, st.RA)
+		p.GaugeF("triad_shard_hot_budget", "The shard's current TRIAD-MEM hot fraction (auto-tuned when enabled).", l, st.HotBudget)
+		p.Gauge("triad_shard_snapshots_open", "Live snapshot pins on the shard.", l, int64(st.OpenSnapshots))
+		p.Counter("triad_shard_snapshots_leaked_total", "Snapshot pins reclaimed by finalizer instead of Close.", l, st.LeakedSnapshots)
+		p.Gauge("triad_shard_overlay_entries", "Preserved old versions in the shard's snapshot overlay.", l, int64(st.OverlayEntries))
 	}
 
-	line("commit_epoch", s.store.CommittedEpoch())
-	line("snapshots_open", s.store.OpenSnapshots())
-	line("snapshots_leaked_total", s.store.LeakedSnapshots())
-	line("overlay_entries", s.store.OverlayEntries())
+	p.Gauge("triad_commit_epoch", "Store-wide commit watermark (every epoch at or below has committed).", "", int64(s.store.CommittedEpoch()))
+	p.Gauge("triad_snapshots_open", "Live cross-shard snapshots.", "", int64(s.store.OpenSnapshots()))
+	p.Counter("triad_snapshots_leaked_total", "Cross-shard snapshots reclaimed by finalizer instead of Close.", "", s.store.LeakedSnapshots())
+	p.Gauge("triad_overlay_entries", "Preserved old versions across all snapshot overlays.", "", int64(s.store.OverlayEntries()))
 
 	open, total, commands := s.ConnStats()
-	line("server_connections_open", open)
-	line("server_connections_total", total)
-	line("server_commands_total", commands)
+	p.Gauge("triad_server_connections_open", "Currently open client connections.", "", int64(open))
+	p.Counter("triad_server_connections_total", "Client connections ever accepted.", "", total)
+	p.Counter("triad_server_commands_total", "Commands parsed and dispatched.", "", commands)
 	curOpen, curTotal := s.CursorStats()
-	line("server_cursors_open", curOpen)
-	line("server_cursors_total", curTotal)
+	p.Gauge("triad_server_cursors_open", "Open server-side SCAN cursors (each pins a snapshot).", "", int64(curOpen))
+	p.Counter("triad_server_cursors_total", "SCAN cursors ever opened.", "", curTotal)
 	batches, ops := s.GroupCommitStats()
-	line("server_group_commit_batches_total", batches)
-	line("server_group_commit_ops_total", ops)
+	p.Counter("triad_server_group_commit_batches_total", "Write groups committed by the group committer.", "", batches)
+	p.Counter("triad_server_group_commit_ops_total", "Write operations carried by committed groups.", "", ops)
 	if batches > 0 {
-		fmt.Fprintf(&b, "triad_server_group_commit_mean_size %.2f\n", float64(ops)/float64(batches))
+		p.GaugeF("triad_server_group_commit_mean_size", "Realized mean group size (ops per batch).", "", float64(ops)/float64(batches))
 	}
+
+	// Latency histograms. With observability disabled the recorders are
+	// nil and every series renders all-zero, so scrapers see a stable
+	// series set either way.
+	for f := obs.FamGet; f < obs.NumFamilies; f++ {
+		p.Histogram("triad_cmd_latency_seconds",
+			"Server-side command latency (dispatch to reply resolution) by command family.",
+			fmt.Sprintf("cmd=%q", f.String()), s.ob.cmdHist(f))
+	}
+	for st := obs.StageCoalesce; st < obs.NumStages; st++ {
+		p.Histogram("triad_commit_stage_latency_seconds",
+			"Commit-pipeline stage latency: coalesce (batching window), epoch_wait (Prepare), commit (WAL+memtable), reply_flush (socket flush).",
+			fmt.Sprintf("stage=%q", st.String()), s.ob.stageHist(st))
+	}
+	p.Histogram("triad_apply_latency_seconds",
+		"Store-level batch commit execution latency (ticket wait + WAL append + memtable insert).",
+		"", s.store.ApplyLatency())
+
+	ev := s.store.Events()
+	p.Counter("triad_events_total", "Background events (flush/compaction/snapshot-gc/stall) ever journaled.", "", int64(ev.Total()))
+	var slow *obs.SlowLog
+	if s.ob != nil {
+		slow = s.ob.slow
+	}
+	p.Counter("triad_server_slow_commands_total", "Commands that exceeded the slowlog threshold.", "", int64(slow.Total()))
 	return b.String()
 }
 
-// statsText is the STATS / /stats body: the engine dump plus the
-// server's own snapshot/cursor accounting.
+// statsText is the STATS / /stats body: the engine dump, the latency
+// quantile tables, and the server's own snapshot/cursor accounting.
 func (s *Server) statsText() string {
 	curOpen, curTotal := s.CursorStats()
-	return s.store.Stats() + fmt.Sprintf("server: %d cursors open (%d lifetime), %d store snapshots open (%d leaked), %d overlay entries\n",
-		curOpen, curTotal, s.store.OpenSnapshots(), s.store.LeakedSnapshots(), s.store.OverlayEntries())
+	return s.store.Stats() + s.ob.quantileTable() +
+		fmt.Sprintf("server: %d cursors open (%d lifetime), %d store snapshots open (%d leaked), %d overlay entries\n",
+			curOpen, curTotal, s.store.OpenSnapshots(), s.store.LeakedSnapshots(), s.store.OverlayEntries())
 }

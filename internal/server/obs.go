@@ -1,0 +1,115 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// serverObs bundles the server's latency instrumentation: one recorder
+// per command family, one per commit-pipeline stage, and the slowlog.
+// A nil *serverObs (Config.DisableObservability) turns every
+// instrumentation point into a pointer test and skips the time.Now
+// calls — the configuration the overhead benchmark compares against.
+type serverObs struct {
+	cmd   [obs.NumFamilies]*obs.Hist
+	stage [obs.NumStages]*obs.Hist
+	slow  *obs.SlowLog
+}
+
+func newServerObs(cfg Config) *serverObs {
+	o := &serverObs{}
+	if cfg.SlowlogThreshold >= 0 {
+		o.slow = obs.NewSlowLog(cfg.SlowlogSize, cfg.SlowlogThreshold)
+	}
+	for f := range o.cmd {
+		o.cmd[f] = obs.NewHist()
+	}
+	for s := range o.stage {
+		o.stage[s] = obs.NewHist()
+	}
+	return o
+}
+
+// observe records one finished command: its family latency and, when it
+// crossed the threshold, a slowlog entry.
+func (o *serverObs) observe(fam obs.Family, key []byte, start time.Time) {
+	if o == nil {
+		return
+	}
+	d := time.Since(start)
+	o.cmd[fam].Record(d)
+	o.slow.Observe(fam.String(), key, d)
+}
+
+// cmdHist returns the family's recorder (nil when disabled), for the
+// exposition and quantile table.
+func (o *serverObs) cmdHist(f obs.Family) *obs.Hist {
+	if o == nil {
+		return nil
+	}
+	return o.cmd[f]
+}
+
+// stageHist returns the stage's recorder (nil when disabled).
+func (o *serverObs) stageHist(s obs.Stage) *obs.Hist {
+	if o == nil {
+		return nil
+	}
+	return o.stage[s]
+}
+
+// quantileTable renders the per-family latency quantiles as an aligned
+// text table (the STATS / triaddb stats surface). Empty when nothing was
+// recorded or observability is off.
+func (o *serverObs) quantileTable() string {
+	if o == nil {
+		return ""
+	}
+	var b strings.Builder
+	wrote := false
+	for f := obs.FamGet; f < obs.NumFamilies; f++ {
+		h := o.cmd[f].Snapshot()
+		if h.Count() == 0 {
+			continue
+		}
+		if !wrote {
+			fmt.Fprintf(&b, "command latency (server-side, reply-resolution time):\n")
+			fmt.Fprintf(&b, "  %-6s %10s %10s %10s %10s %10s\n", "cmd", "count", "p50", "p90", "p99", "p99.9")
+			wrote = true
+		}
+		fmt.Fprintf(&b, "  %-6s %10d %10s %10s %10s %10s\n",
+			f, h.Count(),
+			rq(h.Quantile(0.50)), rq(h.Quantile(0.90)), rq(h.Quantile(0.99)), rq(h.Quantile(0.999)))
+	}
+	wroteStage := false
+	for s := obs.StageCoalesce; s < obs.NumStages; s++ {
+		h := o.stage[s].Snapshot()
+		if h.Count() == 0 {
+			continue
+		}
+		if !wroteStage {
+			fmt.Fprintf(&b, "commit pipeline stages:\n")
+			fmt.Fprintf(&b, "  %-12s %10s %10s %10s %10s %10s\n", "stage", "count", "p50", "p90", "p99", "p99.9")
+			wroteStage = true
+		}
+		fmt.Fprintf(&b, "  %-12s %10d %10s %10s %10s %10s\n",
+			s, h.Count(),
+			rq(h.Quantile(0.50)), rq(h.Quantile(0.90)), rq(h.Quantile(0.99)), rq(h.Quantile(0.999)))
+	}
+	return b.String()
+}
+
+// rq rounds a quantile for table display.
+func rq(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond).String()
+	default:
+		return d.Round(100 * time.Nanosecond).String()
+	}
+}

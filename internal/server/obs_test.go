@@ -1,0 +1,375 @@
+package server_test
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/lsm"
+	"repro/internal/resp"
+	"repro/internal/server"
+	"repro/internal/shard"
+)
+
+// scrape fetches path from the server's metrics handler.
+func scrape(t *testing.T, srv *server.Server, pprof bool, path string) (*http.Response, string) {
+	t.Helper()
+	ts := httptest.NewServer(srv.MetricsHandler(pprof))
+	defer ts.Close()
+	res, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(res.Body)
+	res.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, string(body)
+}
+
+// TestMetricsExpositionFormat is the promlint-style pin: it parses the
+// entire /metrics dump line by line and enforces the text-format 0.0.4
+// rules — every sample preceded by # HELP and # TYPE for its metric,
+// counter names ending in _total, histograms carrying cumulative
+// _bucket{le} / _sum / _count series, snake_case triad_* names, and the
+// versioned Content-Type.
+func TestMetricsExpositionFormat(t *testing.T) {
+	db := newTestStore(t, 2)
+	srv, addr := startServer(t, db, server.Config{})
+	c := dial(t, addr)
+	for i := 0; i < 64; i++ {
+		if err := c.Set([]byte(fmt.Sprintf("fmt-%02d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := c.Get([]byte("fmt-00")); err != nil {
+		t.Fatal(err)
+	}
+
+	res, text := scrape(t, srv, false, "/metrics")
+	if ct := res.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Errorf("Content-Type = %q, want text/plain; version=0.0.4; charset=utf-8", ct)
+	}
+
+	typeOf := map[string]string{} // metric name -> declared TYPE
+	helped := map[string]bool{}
+	// histState[name+labels-without-le] tracks cumulative bucket counts.
+	lastBucket := map[string]uint64{}
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			f := strings.SplitN(line, " ", 4)
+			if len(f) < 4 || (f[1] != "HELP" && f[1] != "TYPE") {
+				t.Fatalf("line %d: malformed comment %q", ln+1, line)
+			}
+			if f[1] == "HELP" {
+				helped[f[2]] = true
+			} else {
+				switch f[3] {
+				case "counter", "gauge", "histogram":
+				default:
+					t.Fatalf("line %d: unknown TYPE %q", ln+1, f[3])
+				}
+				typeOf[f[2]] = f[3]
+			}
+			continue
+		}
+		// Sample line: name{labels} value
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("line %d: no value separator in %q", ln+1, line)
+		}
+		series, valStr := line[:sp], line[sp+1:]
+		if _, err := strconv.ParseFloat(valStr, 64); err != nil {
+			t.Fatalf("line %d: bad sample value %q: %v", ln+1, valStr, err)
+		}
+		name := series
+		labels := ""
+		if i := strings.IndexByte(series, '{'); i >= 0 {
+			if !strings.HasSuffix(series, "}") {
+				t.Fatalf("line %d: unterminated labels in %q", ln+1, series)
+			}
+			name, labels = series[:i], series[i+1:len(series)-1]
+		}
+		base := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if strings.HasSuffix(name, suf) && typeOf[strings.TrimSuffix(name, suf)] == "histogram" {
+				base = strings.TrimSuffix(name, suf)
+			}
+		}
+		if !strings.HasPrefix(base, "triad_") {
+			t.Errorf("line %d: metric %q not triad_* prefixed", ln+1, base)
+		}
+		if strings.ToLower(base) != base || strings.Contains(base, "-") {
+			t.Errorf("line %d: metric %q not snake_case", ln+1, base)
+		}
+		typ, ok := typeOf[base]
+		if !ok || !helped[base] {
+			t.Fatalf("line %d: sample %q precedes its # HELP/# TYPE", ln+1, series)
+		}
+		if typ == "counter" && !strings.HasSuffix(base, "_total") {
+			t.Errorf("line %d: counter %q does not end in _total", ln+1, base)
+		}
+		if typ == "histogram" && strings.HasSuffix(name, "_bucket") {
+			if !strings.Contains(labels, `le="`) {
+				t.Fatalf("line %d: _bucket sample without le label: %q", ln+1, line)
+			}
+			key := base + "|" + stripLe(labels)
+			v, _ := strconv.ParseUint(valStr, 10, 64)
+			if v < lastBucket[key] {
+				t.Errorf("line %d: histogram %q buckets not cumulative", ln+1, key)
+			}
+			lastBucket[key] = v
+		}
+	}
+
+	// The required series: one histogram per command family, one per
+	// pipeline stage, per-shard WA/RA/hot-budget gauges, apply latency.
+	for _, fam := range []string{"get", "set", "del", "mget", "mset", "scan"} {
+		want := fmt.Sprintf(`triad_cmd_latency_seconds_bucket{cmd="%s",le="+Inf"}`, fam)
+		if !strings.Contains(text, want) {
+			t.Errorf("dump missing %s", want)
+		}
+	}
+	for _, stage := range []string{"coalesce", "epoch_wait", "commit", "reply_flush"} {
+		want := fmt.Sprintf(`triad_commit_stage_latency_seconds_bucket{stage="%s",le="+Inf"}`, stage)
+		if !strings.Contains(text, want) {
+			t.Errorf("dump missing %s", want)
+		}
+	}
+	for shardN := 0; shardN < 2; shardN++ {
+		for _, g := range []string{"triad_shard_write_amplification", "triad_shard_read_amplification", "triad_shard_hot_budget", "triad_shard_disk_bytes"} {
+			want := fmt.Sprintf(`%s{shard="%d"}`, g, shardN)
+			if !strings.Contains(text, want) {
+				t.Errorf("dump missing %s", want)
+			}
+		}
+	}
+	if !strings.Contains(text, "triad_apply_latency_seconds_count") {
+		t.Error("dump missing triad_apply_latency_seconds")
+	}
+
+	// The SETs must be visible in the set-family histogram count.
+	if !strings.Contains(text, `triad_cmd_latency_seconds_count{cmd="set"} 64`) {
+		t.Error("set-family histogram count != 64")
+	}
+	if t.Failed() {
+		t.Logf("dump:\n%s", text)
+	}
+}
+
+func stripLe(labels string) string {
+	parts := strings.Split(labels, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if !strings.HasPrefix(p, "le=") {
+			out = append(out, p)
+		}
+	}
+	return strings.Join(out, ",")
+}
+
+// TestEventsAfterFlush drives writes through the server, forces a FLUSH,
+// and asserts EVENTS returns flush events carrying durations and byte
+// counts — through both the RESP command and /debug/events.
+func TestEventsAfterFlush(t *testing.T) {
+	db := newTestStore(t, 2)
+	srv, addr := startServer(t, db, server.Config{})
+	c := dial(t, addr)
+	val := make([]byte, 512)
+	for i := 0; i < 128; i++ {
+		if err := c.Set([]byte(fmt.Sprintf("ev-%03d", i)), val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.FlushStore(); err != nil {
+		t.Fatal(err)
+	}
+
+	v, err := c.Do("EVENTS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Type != resp.TypeArray {
+		t.Fatalf("EVENTS reply type = %c, want array", v.Type)
+	}
+	if len(v.Elems) == 0 {
+		t.Fatal("EVENTS returned no events after FLUSH")
+	}
+	var flushes int
+	for _, e := range v.Elems {
+		line := e.Text()
+		if !strings.Contains(line, "flush") {
+			continue
+		}
+		flushes++
+		if !strings.Contains(line, "dur=") {
+			t.Errorf("flush event missing duration: %q", line)
+		}
+		if !strings.Contains(line, "in=") || !strings.Contains(line, "B") {
+			t.Errorf("flush event missing byte counts: %q", line)
+		}
+		if !strings.Contains(line, "shard=") {
+			t.Errorf("flush event missing shard label: %q", line)
+		}
+	}
+	if flushes == 0 {
+		t.Fatalf("no flush events among %d events", len(v.Elems))
+	}
+
+	// EVENTS 1 caps the reply.
+	v, err = c.Do("EVENTS", []byte("1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Elems) != 1 {
+		t.Fatalf("EVENTS 1 returned %d events", len(v.Elems))
+	}
+
+	_, body := scrape(t, srv, false, "/debug/events")
+	if !strings.Contains(body, "flush") || !strings.Contains(body, "dur=") {
+		t.Errorf("/debug/events missing flush events:\n%s", body)
+	}
+}
+
+// TestSlowlog drives commands over a zero threshold so everything is
+// slow, then exercises SLOWLOG GET/LEN/RESET.
+func TestSlowlog(t *testing.T) {
+	db := newTestStore(t, 1)
+	srv, addr := startServer(t, db, server.Config{SlowlogThreshold: time.Nanosecond})
+	c := dial(t, addr)
+	if err := c.Set([]byte("slow-key"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Get([]byte("slow-key")); err != nil {
+		t.Fatal(err)
+	}
+
+	v, err := c.Do("SLOWLOG", []byte("GET"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Elems) < 2 {
+		t.Fatalf("SLOWLOG GET returned %d entries, want >= 2", len(v.Elems))
+	}
+	joined := v.Elems[0].Text() + v.Elems[1].Text()
+	if !strings.Contains(joined, "slow-key") {
+		t.Errorf("slowlog entries missing key preview: %q", joined)
+	}
+
+	v, err = c.Do("SLOWLOG", []byte("LEN"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Type != resp.TypeInt || v.Int < 2 {
+		t.Fatalf("SLOWLOG LEN = %v, want >= 2", v.Int)
+	}
+
+	if v, err = c.Do("SLOWLOG", []byte("RESET")); err != nil || v.IsError() {
+		t.Fatalf("SLOWLOG RESET: %v %v", err, v)
+	}
+	if v, err = c.Do("SLOWLOG", []byte("LEN")); err != nil || v.Int != 0 {
+		t.Fatalf("SLOWLOG LEN after RESET = %v (err %v), want 0", v.Int, err)
+	}
+
+	_, body := scrape(t, srv, false, "/debug/slowlog")
+	if !strings.Contains(body, "threshold") {
+		t.Errorf("/debug/slowlog missing header:\n%s", body)
+	}
+}
+
+// TestPprofGate checks the profiling surface is opt-in: 404 without the
+// flag, a real profile with it.
+func TestPprofGate(t *testing.T) {
+	db := newTestStore(t, 1)
+	srv, _ := startServer(t, db, server.Config{})
+
+	res, _ := scrape(t, srv, false, "/debug/pprof/profile?seconds=1")
+	if res.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof disabled: /debug/pprof/profile status = %d, want 404", res.StatusCode)
+	}
+	// The metrics dump must still be reachable at / and /metrics.
+	if res, _ := scrape(t, srv, false, "/"); res.StatusCode != http.StatusOK {
+		t.Errorf("/ status = %d, want 200", res.StatusCode)
+	}
+
+	res, body := scrape(t, srv, true, "/debug/pprof/profile?seconds=1")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("pprof enabled: /debug/pprof/profile status = %d, body %q", res.StatusCode, body)
+	}
+	if ct := res.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Errorf("profile Content-Type = %q, want application/octet-stream", ct)
+	}
+	if len(body) == 0 {
+		t.Error("profile body empty")
+	}
+}
+
+// TestStatsQuantileTable checks STATS carries the per-family latency
+// table after traffic.
+func TestStatsQuantileTable(t *testing.T) {
+	db := newTestStore(t, 1)
+	_, addr := startServer(t, db, server.Config{})
+	c := dial(t, addr)
+	for i := 0; i < 16; i++ {
+		if err := c.Set([]byte(fmt.Sprintf("q-%02d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := c.Get([]byte(fmt.Sprintf("q-%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"command latency", "p99.9", "set", "get", "commit pipeline stages", "coalesce"} {
+		if !strings.Contains(stats, want) {
+			t.Errorf("STATS missing %q:\n%s", want, stats)
+		}
+	}
+}
+
+// TestDisableObservability checks the off switch: commands still work,
+// the latency series render all-zero, and EVENTS/SLOWLOG reply empty
+// rather than erroring.
+func TestDisableObservability(t *testing.T) {
+	opts := lsm.TriadOptions(nil)
+	opts.MemtableBytes = 256 << 10
+	db, err := shard.Open(shard.Options{
+		Shards: 1, Engine: opts, NewFS: shard.MemFS(),
+		DisableObservability: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, addr := startServer(t, db, server.Config{DisableObservability: true})
+	c := dial(t, addr)
+	if err := c.Set([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.FlushStore(); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := c.Do("EVENTS"); err != nil || v.IsError() || len(v.Elems) != 0 {
+		t.Fatalf("EVENTS with observability off = %v (err %v), want empty array", v, err)
+	}
+	if v, err := c.Do("SLOWLOG", []byte("GET")); err != nil || v.IsError() || len(v.Elems) != 0 {
+		t.Fatalf("SLOWLOG with observability off = %v (err %v), want empty array", v, err)
+	}
+	_, text := scrape(t, srv, false, "/metrics")
+	if !strings.Contains(text, `triad_cmd_latency_seconds_count{cmd="set"} 0`) {
+		t.Error("disabled observability should render all-zero histograms")
+	}
+	if !strings.Contains(text, "triad_user_writes_total 1") {
+		t.Error("engine counters must survive observability off")
+	}
+}

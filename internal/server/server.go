@@ -36,6 +36,7 @@ import (
 
 	"repro/internal/lsm"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/shard"
 )
 
@@ -69,6 +70,13 @@ type Store interface {
 	OpenSnapshots() int
 	LeakedSnapshots() int64
 	OverlayEntries() int
+	// Events is the store's background-event journal (flushes,
+	// compactions, snapshot GC, stalls), served by EVENTS and
+	// /debug/events. May return nil (observability disabled).
+	Events() *obs.Journal
+	// ApplyLatency is the store's per-batch commit-execution recorder.
+	// May return nil (observability disabled).
+	ApplyLatency() *obs.Hist
 }
 
 var _ Store = (*shard.DB)(nil)
@@ -115,6 +123,17 @@ type Config struct {
 	// Logf, when set, receives connection-level diagnostics (protocol
 	// errors, accept failures). Default: discard.
 	Logf func(format string, args ...any)
+	// DisableObservability turns off the server's latency recorders,
+	// stage timing, and slowlog: every instrumentation point degrades to
+	// a pointer test (the overhead benchmark's baseline). The store's
+	// own journal is unaffected — disable it via shard.Options.
+	DisableObservability bool
+	// SlowlogThreshold is the server-side latency above which a command
+	// is recorded in the slowlog. Default 10ms; negative disables the
+	// slowlog while keeping the histograms.
+	SlowlogThreshold time.Duration
+	// SlowlogSize is the slowlog ring capacity. Default 128.
+	SlowlogSize int
 }
 
 func (c Config) withDefaults() Config {
@@ -145,6 +164,12 @@ func (c Config) withDefaults() Config {
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
+	if c.SlowlogThreshold == 0 {
+		c.SlowlogThreshold = 10 * time.Millisecond
+	}
+	if c.SlowlogSize <= 0 {
+		c.SlowlogSize = 128
+	}
 	return c
 }
 
@@ -157,6 +182,7 @@ type Server struct {
 	cfg     Config
 	gc      *committer // nil when group commit is disabled
 	cursors *registry  // server-side SCAN cursors
+	ob      *serverObs // nil when Config.DisableObservability
 
 	mu      sync.Mutex
 	ln      net.Listener
@@ -178,8 +204,11 @@ func New(store Store, cfg Config) *Server {
 		conns:   make(map[*conn]struct{}),
 		drained: make(chan struct{}),
 	}
+	if !s.cfg.DisableObservability {
+		s.ob = newServerObs(s.cfg)
+	}
 	if !s.cfg.DisableGroupCommit {
-		s.gc = newCommitter(store, s.cfg)
+		s.gc = newCommitter(store, s.cfg, s.ob)
 	}
 	s.cursors = newRegistry(s.cfg)
 	return s

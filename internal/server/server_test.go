@@ -513,7 +513,7 @@ func TestMetricsHandler(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	ts := httptest.NewServer(srv.MetricsHandler())
+	ts := httptest.NewServer(srv.MetricsHandler(false))
 	defer ts.Close()
 	res, err := ts.Client().Get(ts.URL + "/metrics")
 	if err != nil {

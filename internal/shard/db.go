@@ -32,8 +32,10 @@ import (
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/lsm"
+	"repro/internal/obs"
 	"repro/internal/vfs"
 )
 
@@ -56,6 +58,12 @@ type Options struct {
 	// non-nil partitioner must match what the store was created with,
 	// or Open fails rather than misroute.
 	Partitioner Partitioner
+	// DisableObservability leaves the store's event journal and apply
+	// latency recorder nil: every instrumentation point degrades to a
+	// pointer test (the configuration the overhead benchmark compares
+	// against). Engine.Events, when set, still wins over the built-in
+	// journal.
+	DisableObservability bool
 }
 
 // MemFS returns a NewFS factory handing every shard a fresh in-memory
@@ -117,6 +125,12 @@ type DB struct {
 	idxAll []int
 
 	openSnaps atomic.Int64
+
+	// events receives every shard's background events (flush, compaction,
+	// snapshot GC, stall), labeled by shard; applyLat times each batch's
+	// commit execution. Both nil when Options.DisableObservability.
+	events   *obs.Journal
+	applyLat *obs.Hist
 }
 
 // Open opens (creating or recovering) every shard. Recovery is
@@ -149,9 +163,18 @@ func Open(o Options) (*DB, error) {
 		return nil, err
 	}
 	db := &DB{part: part, shards: make([]*lsm.DB, 0, o.Shards)}
+	if !o.DisableObservability {
+		db.events = o.Engine.Events // a caller-supplied journal wins
+		if db.events == nil {
+			db.events = obs.NewJournal(0)
+		}
+		db.applyLat = obs.NewHist()
+	}
 	for i, fs := range fses {
 		eo := o.Engine
 		eo.FS = fs
+		eo.Events = db.events
+		eo.EventShard = i
 		// Decorrelate the per-shard skiplist seeds so shards do not
 		// produce identical tower heights in lockstep.
 		eo.Seed = o.Engine.Seed + int64(i)*7919
@@ -249,6 +272,14 @@ func (db *DB) Shard(i int) *lsm.DB { return db.shards[i] }
 // Partitioner reports the active partitioner.
 func (db *DB) Partitioner() Partitioner { return db.part }
 
+// Events returns the store's background-event journal (nil when
+// observability is disabled).
+func (db *DB) Events() *obs.Journal { return db.events }
+
+// ApplyLatency returns the recorder timing each batch's commit execution
+// (nil when observability is disabled).
+func (db *DB) ApplyLatency() *obs.Hist { return db.applyLat }
+
 // pick returns the shard owning key.
 func (db *DB) pick(key []byte) *lsm.DB {
 	return db.shards[db.part.Partition(key, len(db.shards))]
@@ -281,11 +312,18 @@ func (db *DB) commitOne(i int, b *lsm.Batch) error {
 	if err := db.shards[i].WaitWritable(); err != nil {
 		return err
 	}
+	var start time.Time
+	if db.applyLat != nil {
+		start = time.Now()
+	}
 	t := db.clk.allocate([]int{i})
 	db.clk.waitTurn(t, 0)
 	err := db.shards[i].CommitAt(t.epoch, b)
 	db.clk.shardDone(t, 0)
 	db.clk.finish(t)
+	if db.applyLat != nil {
+		db.applyLat.Record(time.Since(start))
+	}
 	return err
 }
 
@@ -369,6 +407,10 @@ func (c *Commit) Commit() error {
 	}
 	c.used = true
 	db := c.db
+	var start time.Time
+	if db.applyLat != nil && len(c.tk.shards) > 0 {
+		start = time.Now()
+	}
 	var err error
 	switch len(c.tk.shards) {
 	case 0: // empty batch: the ticket is just a watermark event
@@ -394,6 +436,9 @@ func (c *Commit) Commit() error {
 		err = errors.Join(errs...)
 	}
 	db.clk.finish(c.tk)
+	if !start.IsZero() {
+		db.applyLat.Record(time.Since(start))
+	}
 	if err != nil {
 		return err
 	}

@@ -69,6 +69,10 @@ type ShardStat struct {
 	DiskBytes int64
 	// WA and RA are the shard's own write and read amplification.
 	WA, RA float64
+	// HotBudget is the shard's current TRIAD-MEM hot fraction (the
+	// auto-tuner moves it per shard; static configurations report the
+	// configured value).
+	HotBudget float64
 	// OpenSnapshots is the shard's live snapshot-pin count;
 	// LeakedSnapshots counts pins the finalizer reclaimed instead of an
 	// explicit Close; OverlayEntries is how many preserved old versions
@@ -94,6 +98,7 @@ func (db *DB) ShardStats() []ShardStat {
 			Reads:           m.UserReads,
 			WA:              m.WriteAmplification(),
 			RA:              m.ReadAmplification(),
+			HotBudget:       s.HotFraction(),
 			OpenSnapshots:   s.OpenSnapshots(),
 			LeakedSnapshots: s.LeakedSnapshots(),
 			OverlayEntries:  s.OverlaySize(),
@@ -137,11 +142,22 @@ func (db *DB) Stats() string {
 	}
 	fmt.Fprintf(&b, "commit epoch: %d  snapshots: %d open, %d leaked  overlay: %d entries\n",
 		db.CommittedEpoch(), db.OpenSnapshots(), db.LeakedSnapshots(), db.OverlayEntries())
-	fmt.Fprintf(&b, "per-shard balance (writes/reads/files/disk, WA, RA, snaps, overlay):\n")
+	if lat := db.applyLat; lat.Count() > 0 {
+		h := lat.Snapshot()
+		fmt.Fprintf(&b, "apply latency: n=%d p50=%s p90=%s p99=%s p99.9=%s max=%s\n",
+			h.Count(), h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99), h.Quantile(0.999), h.Max())
+	}
+	fmt.Fprintf(&b, "per-shard balance (writes/reads/files/disk, WA, RA, hot budget, snaps, overlay):\n")
 	for _, st := range db.ShardStats() {
-		fmt.Fprintf(&b, "  s%d: writes=%d (%d B) reads=%d files=%d disk=%d B  WA=%.2f RA=%.2f  snaps=%d/%d leaked  overlay=%d\n",
-			st.Shard, st.Writes, st.WriteBytes, st.Reads, st.Files, st.DiskBytes, st.WA, st.RA,
+		fmt.Fprintf(&b, "  s%d: writes=%d (%d B) reads=%d files=%d disk=%d B  WA=%.2f RA=%.2f  hot=%.4f  snaps=%d/%d leaked  overlay=%d\n",
+			st.Shard, st.Writes, st.WriteBytes, st.Reads, st.Files, st.DiskBytes, st.WA, st.RA, st.HotBudget,
 			st.OpenSnapshots, st.LeakedSnapshots, st.OverlayEntries)
+	}
+	if ev := db.events; ev.Total() > 0 {
+		fmt.Fprintf(&b, "background events: %d total, newest first:\n", ev.Total())
+		for _, e := range ev.Events(5) {
+			fmt.Fprintf(&b, "  %s\n", e)
+		}
 	}
 	return b.String()
 }

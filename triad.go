@@ -29,6 +29,7 @@ import (
 	"repro/internal/lsm"
 	"repro/internal/memtable"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/shard"
 	"repro/internal/vfs"
 )
@@ -361,6 +362,27 @@ func (db *DB) Metrics() metrics.Snapshot { return db.inner.Metrics() }
 
 // NumLevelFiles reports the table count per LSM level.
 func (db *DB) NumLevelFiles() []int { return db.inner.NumLevelFiles() }
+
+// ApplyLatency returns the store's per-batch commit latency recorder,
+// or nil when the backend does not keep one (unsharded stores, or
+// sharded stores opened with observability disabled). Snapshot it for
+// quantiles; Record on it is not for callers.
+func (db *DB) ApplyLatency() *obs.Hist {
+	if s, ok := db.inner.(*shard.DB); ok {
+		return s.ApplyLatency()
+	}
+	return nil
+}
+
+// Events returns the store's background-event journal (flushes,
+// compactions, snapshot GC, write stalls), or nil when the backend does
+// not keep one (unsharded stores, or observability disabled).
+func (db *DB) Events() *obs.Journal {
+	if s, ok := db.inner.(*shard.DB); ok {
+		return s.Events()
+	}
+	return nil
+}
 
 // Close flushes background state and releases all resources.
 func (db *DB) Close() error { return db.inner.Close() }
