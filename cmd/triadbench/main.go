@@ -7,7 +7,7 @@
 //	triadbench -experiment all -scale full  # everything, paper-like scale
 //
 // Experiments: fig2, fig7, fig8, fig9a, fig9b (includes 9c), fig9d,
-// fig10, fig11, shardscale, scanlocal, conflict, net, all.
+// fig10, fig11, shardscale, scanlocal, conflict, net, cacheskew, all.
 //
 // -shards N (N > 1) runs every figure against the sharded engine (N lsm
 // instances at the same aggregate memory); the shardscale experiment
@@ -29,7 +29,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("experiment", "all", "which figure to regenerate: fig2|fig7|fig8|fig9a|fig9b|fig9c|fig9d|fig10|fig11|fig10dev|sizetiered|shardscale|scanlocal|conflict|net|all")
+		exp     = flag.String("experiment", "all", "which figure to regenerate: fig2|fig7|fig8|fig9a|fig9b|fig9c|fig9d|fig10|fig11|fig10dev|sizetiered|shardscale|scanlocal|conflict|net|cacheskew|all")
 		scale   = flag.String("scale", "quick", "quick (seconds per figure) or full (paper-like sizes)")
 		keys    = flag.Uint64("keys", 0, "override synthetic key-space size")
 		ops     = flag.Int64("ops", 0, "override timed operation count per run")
@@ -155,6 +155,12 @@ func main() {
 		// Network front end: group commit vs one-Apply-per-command over
 		// 1..16 pipelined client connections.
 		run("net", func() error { _, err := harness.NetThroughput(s, os.Stdout); return err })
+	}
+	if want("cacheskew") {
+		any = true
+		// Shared vs equal-split block cache under skewed multi-tenant
+		// reads, at identical total cache bytes.
+		run("cacheskew", func() error { _, err := harness.CacheSkew(s, os.Stdout); return err })
 	}
 	if !any {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)

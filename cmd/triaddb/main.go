@@ -44,6 +44,7 @@ func main() {
 		shards      = flag.Int("shards", 1, "partition the keyspace across N engine instances under DIR/shard-NNN (must match the count the store was created with)")
 		partitioner = flag.String("partitioner", "", "shard router: hash (default for new stores) or range; an existing store's stored partitioner is adopted when empty")
 		splits      = flag.String("splits", "", "comma-separated ascending split keys for -partitioner range (N-1 keys for N shards), e.g. -splits g,n,t")
+		cacheBytes  = flag.Int64("cache-bytes", 0, "store-wide block-cache budget in bytes, shared by all shards (0: the profile default)")
 	)
 	flag.Parse()
 	args := flag.Args()
@@ -56,7 +57,7 @@ func main() {
 	if *baseline {
 		profile = triad.ProfileBaseline
 	}
-	opts := triad.Options{Profile: profile, Partitioner: *partitioner}
+	opts := triad.Options{Profile: profile, Partitioner: *partitioner, BlockCacheBytes: *cacheBytes}
 	if *splits != "" {
 		for _, s := range strings.Split(*splits, ",") {
 			opts.RangeSplits = append(opts.RangeSplits, []byte(s))

@@ -42,6 +42,7 @@ import (
 	"repro/internal/server"
 	"repro/internal/shard"
 	"repro/internal/shutdown"
+	"repro/internal/sstable"
 	"repro/internal/vfs"
 )
 
@@ -61,6 +62,7 @@ func run(args []string, stdout, stderr io.Writer, ready func(addr string)) int {
 		shards      = fs.Int("shards", 1, "partition the keyspace across N engine instances (DIR/shard-NNN when durable)")
 		partitioner = fs.String("partitioner", "", "shard router: hash (default for new stores) or range; a durable store's stored partitioner is adopted when empty")
 		splits      = fs.String("splits", "", "comma-separated ascending split keys for -partitioner range (N-1 keys for N shards)")
+		cacheBytes  = fs.Int64("cache-bytes", 0, "store-wide block-cache budget in bytes, shared by all shards (0: the profile's per-shard default, pooled)")
 		syncWAL     = fs.Bool("sync", false, "fsync the commit log on every group commit")
 		noGC        = fs.Bool("no-group-commit", false, "apply each write in its own batch instead of group-committing")
 		commitDelay = fs.Duration("commit-delay", 0, "hold each write group open this long before committing (0: commit as soon as the committer is free)")
@@ -78,7 +80,7 @@ func run(args []string, stdout, stderr io.Writer, ready func(addr string)) int {
 		return 2
 	}
 
-	db, err := openStore(*dir, *baseline, *syncWAL, *shards, *partitioner, *splits, *noObs)
+	db, err := openStore(*dir, *baseline, *syncWAL, *shards, *partitioner, *splits, *noObs, *cacheBytes)
 	if err != nil {
 		fmt.Fprintln(stderr, "triadserver:", err)
 		return 1
@@ -179,12 +181,20 @@ func run(args []string, stdout, stderr io.Writer, ready func(addr string)) int {
 // openStore opens the sharded engine the server fronts. The shard layer
 // is used even at one shard so STATS carries the per-shard table and
 // durable stores get the STORE metadata validation.
-func openStore(dir string, baseline, syncWAL bool, shards int, partitioner, splits string, noObs bool) (*shard.DB, error) {
+func openStore(dir string, baseline, syncWAL bool, shards int, partitioner, splits string, noObs bool, cacheBytes int64) (*shard.DB, error) {
 	engine := lsm.TriadOptions(nil)
 	if baseline {
 		engine = lsm.DefaultOptions(nil)
 	}
 	engine.SyncWAL = syncWAL
+
+	// -cache-bytes is a store-wide budget: build the shared cache at
+	// exactly that size rather than letting the shard layer pool the
+	// profile's per-shard share times the shard count.
+	var cache *sstable.Cache
+	if cacheBytes > 0 {
+		cache = sstable.NewCache(cacheBytes)
+	}
 
 	var part shard.Partitioner
 	var splitKeys [][]byte
@@ -237,6 +247,7 @@ func openStore(dir string, baseline, syncWAL bool, shards int, partitioner, spli
 		Engine:               engine,
 		NewFS:                newFS,
 		Partitioner:          part,
+		BlockCache:           cache,
 		DisableObservability: noObs,
 	})
 }

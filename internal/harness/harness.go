@@ -35,6 +35,7 @@ type Engine interface {
 	CompactAll() error
 	SetDisableBackgroundIO(bool)
 	Metrics() metrics.Snapshot
+	CacheStats() (hits, misses int64)
 	Close() error
 }
 
@@ -82,6 +83,12 @@ type Spec struct {
 	// byte moved through the filesystem — used by the device-backed
 	// experiment variants where write I/O has a real cost.
 	Latency vfs.LatencyModel
+	// CacheSplit restores the pre-PR-7 block-cache layout for sharded
+	// runs: each shard gets a private plain-LRU cache of
+	// Engine.BlockCacheBytes instead of pooling the shares into one
+	// store-wide scan-resistant cache. The baseline side of the
+	// shared-cache comparison.
+	CacheSplit bool
 	// Seed makes the run deterministic.
 	Seed int64
 }
@@ -110,6 +117,10 @@ type Result struct {
 	Deferred int64
 	// FlushSkips counts TRIAD-MEM small-memtable flush skips.
 	FlushSkips int64
+	// CacheHits/CacheMisses are the block-cache lookups during the timed
+	// phase; CacheHitRate is hits over lookups (0 with no lookups).
+	CacheHits, CacheMisses int64
+	CacheHitRate           float64
 	// P50 / P99 / P999 are per-operation latency quantiles and Lat is
 	// the full merged histogram (every operation is recorded).
 	P50, P99, P999 time.Duration
@@ -133,10 +144,14 @@ func Run(spec Spec) (Result, error) {
 		if part, err = spec.partitioner(); err != nil {
 			return Result{}, err
 		}
+		if spec.CacheSplit {
+			opts.PlainBlockCache = true
+		}
 		db, err = shard.Open(shard.Options{
-			Shards:      spec.Shards,
-			Engine:      opts,
-			Partitioner: part,
+			Shards:          spec.Shards,
+			Engine:          opts,
+			Partitioner:     part,
+			SplitBlockCache: spec.CacheSplit,
 			NewFS: func(int) (vfs.FS, error) {
 				fs := vfs.NewMemFS()
 				lat := spec.Latency
@@ -178,6 +193,7 @@ func Run(spec Spec) (Result, error) {
 		threads = 1
 	}
 	before := db.Metrics()
+	hitsBefore, missesBefore := db.CacheStats()
 	start := time.Now()
 	var wg sync.WaitGroup
 	errCh := make(chan error, threads)
@@ -218,6 +234,7 @@ func Run(spec Spec) (Result, error) {
 	wg.Wait()
 	elapsed := time.Since(start)
 	after := db.Metrics()
+	hitsAfter, missesAfter := db.CacheStats()
 	select {
 	case err := <-errCh:
 		return Result{}, err
@@ -242,7 +259,12 @@ func Run(spec Spec) (Result, error) {
 		PctBackground: 100 * float64(snap.BackgroundTime()) / float64(elapsed),
 		Deferred:      snap.CompactionsDeferred,
 		FlushSkips:    snap.FlushSkips,
+		CacheHits:     hitsAfter - hitsBefore,
+		CacheMisses:   missesAfter - missesBefore,
 		Snap:          snap,
+	}
+	if lookups := res.CacheHits + res.CacheMisses; lookups > 0 {
+		res.CacheHitRate = float64(res.CacheHits) / float64(lookups)
 	}
 	res.Lat = rec.Snapshot()
 	res.P50 = res.Lat.Quantile(0.50)

@@ -66,7 +66,7 @@ type DB struct {
 	tables    map[uint64]sstable.Table
 
 	manifest *manifest.Log
-	cache    *sstable.BlockCache
+	cache    *sstable.Handle // this DB's tenant view of the block cache
 
 	// compactionMu serializes compaction pick+run cycles between the
 	// background worker and explicit CompactOnce/CompactAll callers, so
@@ -107,12 +107,22 @@ func Open(opts Options) (*DB, error) {
 		return nil, errors.New("lsm: Options.FS is required")
 	}
 	opts.withDefaults()
+	// A caller-injected cache is shared across engines (table IDs are
+	// per-DB, so the tenant handle keys this DB's blocks apart); the
+	// fallback is a private cache sized from BlockCacheBytes.
+	cc := opts.BlockCache
+	if cc == nil {
+		cc = sstable.NewCacheOpts(sstable.CacheOptions{
+			Bytes:    opts.BlockCacheBytes,
+			PlainLRU: opts.PlainBlockCache,
+		})
+	}
 	db := &DB{
 		opts:    opts,
 		fs:      opts.FS,
 		picker:  compaction.NewPicker(opts.pickerOptions()),
 		tables:  make(map[uint64]sstable.Table),
-		cache:   sstable.NewBlockCache(opts.BlockCacheBytes),
+		cache:   cc.NewHandle(),
 		snaps:   make(map[*snapPin]struct{}),
 		refs:    make(map[uint64]int),
 		zombies: make(map[uint64]*manifest.FileMeta),
@@ -231,7 +241,12 @@ func (db *DB) openTable(f *manifest.FileMeta) (sstable.Table, error) {
 }
 
 // CacheStats reports block-cache hits and misses (zero when disabled).
-func (db *DB) CacheStats() (hits, misses int64) { return db.cache.Stats() }
+func (db *DB) CacheStats() (hits, misses int64) { return db.cache.HitMiss() }
+
+// BlockCacheStats reports this DB's full block-cache counters: its own
+// hits/misses/evictions and the bytes it holds resident. When the cache
+// is shared, Resident is this tenant's slice of it, not the whole cache.
+func (db *DB) BlockCacheStats() sstable.CacheStats { return db.cache.Stats() }
 
 func (db *DB) allocFileID() uint64 {
 	id := db.nextID
@@ -561,6 +576,11 @@ func (db *DB) Close() error {
 			err = e
 		}
 	}
+
+	// Give this engine's resident blocks back to the (possibly shared)
+	// cache so a long-lived store-wide cache does not accumulate blocks
+	// of closed shards.
+	db.cache.Release()
 
 	if e := db.manifest.Close(); err == nil {
 		err = e

@@ -4,6 +4,7 @@ import (
 	"repro/internal/compaction"
 	"repro/internal/memtable"
 	"repro/internal/obs"
+	"repro/internal/sstable"
 	"repro/internal/vfs"
 )
 
@@ -76,10 +77,22 @@ type Options struct {
 	// it (RocksDB's write-stall behaviour).
 	MaxImmutableMemtables int
 
-	// BlockCacheBytes sizes the shared data-block cache (0 disables it).
-	// Cache hits do not count as disk accesses for read amplification,
-	// matching the substrate's block-cache behaviour.
+	// BlockCacheBytes sizes the data-block cache (0 disables it). Cache
+	// hits do not count as disk accesses for read amplification, matching
+	// the substrate's block-cache behaviour. Ignored when BlockCache is
+	// set.
 	BlockCacheBytes int64
+	// BlockCache, when non-nil, is a caller-owned cache shared with other
+	// engines (the sharded store injects one store-wide cache so memory
+	// follows hot shards instead of being pre-split). The DB takes a
+	// tenant handle on it and releases only its own blocks at Close; the
+	// caller keeps ownership of the cache itself.
+	BlockCache *sstable.Cache
+	// PlainBlockCache disables the scan-resistant admission policy on the
+	// DB-private cache built from BlockCacheBytes (single-segment plain
+	// LRU — the pre-PR-7 behaviour, kept for baselines). Ignored when
+	// BlockCache is set.
+	PlainBlockCache bool
 
 	// SizeTieredCompaction switches from leveled to a Cassandra-style
 	// size-tiered strategy (§2 of the paper notes TRIAD adapts to it;

@@ -104,6 +104,15 @@ func (s *Server) MetricsText() string {
 	p.GaugeF("triad_write_amplification", "Store-wide write amplification: (logged+flushed+compacted)/user bytes.", "", m.WriteAmplification())
 	p.GaugeF("triad_read_amplification", "Store-wide read amplification: disk reads per user read.", "", m.ReadAmplification())
 
+	cs := s.store.BlockCacheStats()
+	p.Counter("triad_block_cache_hits_total", "Block-cache lookups served from memory.", "", cs.Hits)
+	p.Counter("triad_block_cache_misses_total", "Block-cache lookups that went to disk.", "", cs.Misses)
+	p.Gauge("triad_block_cache_resident_bytes", "Bytes currently resident in the block cache.", "", cs.Resident)
+	p.Gauge("triad_block_cache_capacity_bytes", "Configured block-cache capacity.", "", cs.Capacity)
+	p.Counter("triad_block_cache_evictions_total", "Blocks evicted to make room.", "", cs.Evictions)
+	p.Counter("triad_block_cache_admission_rejects_total", "Blocks the scan-resistant admission policy refused to cache.", "", cs.AdmissionRejects)
+	p.GaugeF("triad_block_cache_hit_rate", "Lifetime block-cache hit rate (hits / lookups).", "", cs.HitRate())
+
 	for _, st := range s.store.ShardStats() {
 		l := fmt.Sprintf("shard=%q", strconv.Itoa(st.Shard))
 		p.Counter("triad_shard_writes_total", "User write operations routed to the shard.", l, st.Writes)
@@ -116,6 +125,9 @@ func (s *Server) MetricsText() string {
 		p.Gauge("triad_shard_snapshots_open", "Live snapshot pins on the shard.", l, int64(st.OpenSnapshots))
 		p.Counter("triad_shard_snapshots_leaked_total", "Snapshot pins reclaimed by finalizer instead of Close.", l, st.LeakedSnapshots)
 		p.Gauge("triad_shard_overlay_entries", "Preserved old versions in the shard's snapshot overlay.", l, int64(st.OverlayEntries))
+		p.Counter("triad_shard_cache_hits_total", "Block-cache lookups by this shard served from memory.", l, st.CacheHits)
+		p.Counter("triad_shard_cache_misses_total", "Block-cache lookups by this shard that went to disk.", l, st.CacheMisses)
+		p.Gauge("triad_shard_cache_resident_bytes", "Shared-cache bytes currently held by this shard's blocks.", l, st.CacheBytes)
 	}
 
 	p.Gauge("triad_commit_epoch", "Store-wide commit watermark (every epoch at or below has committed).", "", int64(s.store.CommittedEpoch()))

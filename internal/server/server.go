@@ -38,6 +38,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/shard"
+	"repro/internal/sstable"
 )
 
 // Store is the engine surface the server fronts. *shard.DB implements it
@@ -61,6 +62,10 @@ type Store interface {
 	Stats() string
 	Metrics() metrics.Snapshot
 	ShardStats() []shard.ShardStat
+	// BlockCacheStats reports the store-wide block-cache counters
+	// (hits/misses/resident/capacity/evictions/admission rejects),
+	// exported as the triad_block_cache_* series.
+	BlockCacheStats() sstable.CacheStats
 	// NewSnapshot pins a cross-shard point-in-time view; every SCAN
 	// reads through one (cursors hold theirs open across pages, which
 	// is what makes paging repeatable).

@@ -36,6 +36,7 @@ import (
 
 	"repro/internal/lsm"
 	"repro/internal/obs"
+	"repro/internal/sstable"
 	"repro/internal/vfs"
 )
 
@@ -49,7 +50,21 @@ type Options struct {
 	// is decorrelated per shard. Budgets in the template (memtable,
 	// commit log, block cache, ...) apply to each shard individually;
 	// use DivideBudgets to split one store-wide budget evenly.
+	//
+	// Engine.BlockCacheBytes is the per-shard share, but by default the
+	// store pools the shares: Open builds ONE store-wide block cache of
+	// Engine.BlockCacheBytes x Shards and hands every shard a tenant
+	// handle on it, so the aggregate memory matches the old per-shard
+	// design while the bytes follow whichever shards are hot.
 	Engine lsm.Options
+	// BlockCache, when non-nil, is used as the store-wide block cache
+	// instead of building one (callers embedding several stores can pool
+	// even wider). The store does not own it; it is not closed on Close.
+	BlockCache *sstable.Cache
+	// SplitBlockCache restores the pre-PR-7 layout: every shard builds
+	// its own private plain-LRU cache of Engine.BlockCacheBytes. Kept as
+	// the measurable baseline for the shared-cache comparison.
+	SplitBlockCache bool
 	// NewFS returns shard i's filesystem; required. Every shard needs a
 	// namespace of its own — MemFS and DirFS are ready-made factories.
 	NewFS func(i int) (vfs.FS, error)
@@ -131,6 +146,10 @@ type DB struct {
 	// commit execution. Both nil when Options.DisableObservability.
 	events   *obs.Journal
 	applyLat *obs.Hist
+
+	// cache is the store-wide block cache every shard draws from (nil
+	// when caching is disabled or SplitBlockCache keeps per-shard LRUs).
+	cache *sstable.Cache
 }
 
 // Open opens (creating or recovering) every shard. Recovery is
@@ -170,11 +189,21 @@ func Open(o Options) (*DB, error) {
 		}
 		db.applyLat = obs.NewHist()
 	}
+	// Pool the per-shard cache shares into one store-wide cache (same
+	// aggregate bytes, no pre-split) unless the caller injected a cache
+	// or explicitly asked for the old split layout.
+	db.cache = o.BlockCache
+	if db.cache == nil && !o.SplitBlockCache && o.Engine.BlockCacheBytes > 0 {
+		db.cache = sstable.NewCache(o.Engine.BlockCacheBytes * int64(o.Shards))
+	}
 	for i, fs := range fses {
 		eo := o.Engine
 		eo.FS = fs
 		eo.Events = db.events
 		eo.EventShard = i
+		if db.cache != nil {
+			eo.BlockCache = db.cache
+		}
 		// Decorrelate the per-shard skiplist seeds so shards do not
 		// produce identical tower heights in lockstep.
 		eo.Seed = o.Engine.Seed + int64(i)*7919

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/manifest"
 	"repro/internal/metrics"
+	"repro/internal/sstable"
 )
 
 // Metrics returns the store-wide counter snapshot: the counter-wise sum
@@ -28,6 +29,31 @@ func (db *DB) CacheStats() (hits, misses int64) {
 	}
 	return hits, misses
 }
+
+// BlockCacheStats reports the store-wide block-cache counters. With the
+// shared cache (the default) Resident/Capacity/AdmissionRejects come
+// from the cache itself; in the split layout they are the sum of the
+// per-shard caches.
+func (db *DB) BlockCacheStats() sstable.CacheStats {
+	if db.cache != nil {
+		return db.cache.Stats()
+	}
+	var out sstable.CacheStats
+	for _, s := range db.shards {
+		st := s.BlockCacheStats()
+		out.Hits += st.Hits
+		out.Misses += st.Misses
+		out.Resident += st.Resident
+		out.Evictions += st.Evictions
+		out.AdmissionRejects += st.AdmissionRejects
+		out.Capacity += st.Capacity
+	}
+	return out
+}
+
+// BlockCache exposes the store-wide shared cache (nil when caching is
+// disabled or per-shard split caches are in use).
+func (db *DB) BlockCache() *sstable.Cache { return db.cache }
 
 // NumLevelFiles reports the per-level table count summed across shards.
 func (db *DB) NumLevelFiles() []int {
@@ -81,6 +107,12 @@ type ShardStat struct {
 	OpenSnapshots   int
 	LeakedSnapshots int64
 	OverlayEntries  int
+	// CacheHits/CacheMisses are the shard's block-cache lookups;
+	// CacheBytes is how many cache bytes the shard holds resident right
+	// now. Under the shared cache the bytes are not pre-split, so this
+	// column shows memory following the hot shards.
+	CacheHits, CacheMisses int64
+	CacheBytes             int64
 }
 
 // ShardStats reports every shard's share of the load, in shard order.
@@ -91,6 +123,7 @@ func (db *DB) ShardStats() []ShardStat {
 	out := make([]ShardStat, len(db.shards))
 	for i, s := range db.shards {
 		m := s.Metrics()
+		cs := s.BlockCacheStats()
 		st := ShardStat{
 			Shard:           i,
 			Writes:          m.UserWrites,
@@ -102,6 +135,9 @@ func (db *DB) ShardStats() []ShardStat {
 			OpenSnapshots:   s.OpenSnapshots(),
 			LeakedSnapshots: s.LeakedSnapshots(),
 			OverlayEntries:  s.OverlaySize(),
+			CacheHits:       cs.Hits,
+			CacheMisses:     cs.Misses,
+			CacheBytes:      cs.Resident,
 		}
 		for _, n := range s.NumLevelFiles() {
 			st.Files += n
@@ -136,9 +172,13 @@ func (db *DB) Stats() string {
 		m.UserBytes, m.BytesLogged, m.BytesFlushed, m.BytesCompacted)
 	fmt.Fprintf(&b, "WA: %.2f (flush-relative %.2f)  RA: %.2f\n",
 		m.WriteAmplification(), m.FlushRelativeWA(), m.ReadAmplification())
-	if hits, misses := db.CacheStats(); hits+misses > 0 {
-		fmt.Fprintf(&b, "block cache: %d hits, %d misses (%.1f%% hit rate)\n",
-			hits, misses, 100*float64(hits)/float64(hits+misses))
+	if cs := db.BlockCacheStats(); cs.Hits+cs.Misses > 0 || cs.Capacity > 0 {
+		kind := "split per-shard"
+		if db.cache != nil {
+			kind = "shared"
+		}
+		fmt.Fprintf(&b, "block cache (%s): %d hits, %d misses (%.1f%% hit rate)  %d/%d B resident  %d evictions, %d scan rejects\n",
+			kind, cs.Hits, cs.Misses, 100*cs.HitRate(), cs.Resident, cs.Capacity, cs.Evictions, cs.AdmissionRejects)
 	}
 	fmt.Fprintf(&b, "commit epoch: %d  snapshots: %d open, %d leaked  overlay: %d entries\n",
 		db.CommittedEpoch(), db.OpenSnapshots(), db.LeakedSnapshots(), db.OverlayEntries())
@@ -147,11 +187,11 @@ func (db *DB) Stats() string {
 		fmt.Fprintf(&b, "apply latency: n=%d p50=%s p90=%s p99=%s p99.9=%s max=%s\n",
 			h.Count(), h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99), h.Quantile(0.999), h.Max())
 	}
-	fmt.Fprintf(&b, "per-shard balance (writes/reads/files/disk, WA, RA, hot budget, snaps, overlay):\n")
+	fmt.Fprintf(&b, "per-shard balance (writes/reads/files/disk, WA, RA, hot budget, snaps, overlay, cache):\n")
 	for _, st := range db.ShardStats() {
-		fmt.Fprintf(&b, "  s%d: writes=%d (%d B) reads=%d files=%d disk=%d B  WA=%.2f RA=%.2f  hot=%.4f  snaps=%d/%d leaked  overlay=%d\n",
+		fmt.Fprintf(&b, "  s%d: writes=%d (%d B) reads=%d files=%d disk=%d B  WA=%.2f RA=%.2f  hot=%.4f  snaps=%d/%d leaked  overlay=%d  cache=%d/%d hits (%d B)\n",
 			st.Shard, st.Writes, st.WriteBytes, st.Reads, st.Files, st.DiskBytes, st.WA, st.RA, st.HotBudget,
-			st.OpenSnapshots, st.LeakedSnapshots, st.OverlayEntries)
+			st.OpenSnapshots, st.LeakedSnapshots, st.OverlayEntries, st.CacheHits, st.CacheHits+st.CacheMisses, st.CacheBytes)
 	}
 	if ev := db.events; ev.Total() > 0 {
 		fmt.Fprintf(&b, "background events: %d total, newest first:\n", ev.Total())

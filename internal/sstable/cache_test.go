@@ -10,58 +10,74 @@ import (
 	"repro/internal/vfs"
 )
 
+// plainLRU returns the pre-scan-resistant configuration: one segment,
+// one mutex, no admission filter — the engine's previous per-shard
+// cache, kept as the behavioural baseline.
+func plainLRU(capacity int64) *Cache {
+	return NewCacheOpts(CacheOptions{Bytes: capacity, Segments: 1, PlainLRU: true})
+}
+
 func TestBlockCacheLRU(t *testing.T) {
-	c := NewBlockCache(100)
-	c.Put(1, 0, make([]byte, 40))
-	c.Put(1, 40, make([]byte, 40))
-	if c.Used() != 80 {
-		t.Fatalf("Used = %d", c.Used())
+	h := plainLRU(100).NewHandle()
+	h.Put(1, 0, make([]byte, 40))
+	h.Put(1, 40, make([]byte, 40))
+	if used := h.c.Used(); used != 80 {
+		t.Fatalf("Used = %d", used)
 	}
 	// Touch the first block so the second becomes LRU.
-	if c.Get(1, 0) == nil {
+	if h.Get(1, 0) == nil {
 		t.Fatal("miss on resident block")
 	}
 	// Inserting 40 more evicts (1, 40).
-	c.Put(2, 0, make([]byte, 40))
-	if c.Get(1, 40) != nil {
+	h.Put(2, 0, make([]byte, 40))
+	if h.Get(1, 40) != nil {
 		t.Fatal("LRU block not evicted")
 	}
-	if c.Get(1, 0) == nil || c.Get(2, 0) == nil {
+	if h.Get(1, 0) == nil || h.Get(2, 0) == nil {
 		t.Fatal("recently used blocks evicted")
 	}
-	hits, misses := c.Stats()
-	if hits != 3 || misses != 1 {
-		t.Fatalf("stats = %d/%d, want 3/1", hits, misses)
+	st := h.Stats()
+	if st.Hits != 3 || st.Misses != 1 {
+		t.Fatalf("stats = %d/%d, want 3/1", st.Hits, st.Misses)
+	}
+	if st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
 	}
 }
 
 func TestBlockCacheOversizedNotAdmitted(t *testing.T) {
-	c := NewBlockCache(10)
-	c.Put(1, 0, make([]byte, 100))
+	c := plainLRU(10)
+	h := c.NewHandle()
+	h.Put(1, 0, make([]byte, 100))
 	if c.Used() != 0 {
 		t.Fatal("oversized block admitted")
 	}
 }
 
 func TestBlockCacheReplaceSameKey(t *testing.T) {
-	c := NewBlockCache(1000)
-	c.Put(1, 0, make([]byte, 100))
-	c.Put(1, 0, make([]byte, 50))
+	c := plainLRU(1000)
+	h := c.NewHandle()
+	h.Put(1, 0, make([]byte, 100))
+	h.Put(1, 0, make([]byte, 50))
 	if c.Used() != 50 {
 		t.Fatalf("Used after replace = %d", c.Used())
+	}
+	if h.Stats().Resident != 50 {
+		t.Fatalf("tenant resident after replace = %d", h.Stats().Resident)
 	}
 }
 
 func TestBlockCacheEvictTable(t *testing.T) {
-	c := NewBlockCache(1000)
-	c.Put(1, 0, make([]byte, 10))
-	c.Put(1, 10, make([]byte, 10))
-	c.Put(2, 0, make([]byte, 10))
-	c.EvictTable(1)
-	if c.Get(1, 0) != nil || c.Get(1, 10) != nil {
+	c := NewCache(1 << 20)
+	h := c.NewHandle()
+	h.Put(1, 0, make([]byte, 10))
+	h.Put(1, 10, make([]byte, 10))
+	h.Put(2, 0, make([]byte, 10))
+	h.EvictTable(1)
+	if h.Get(1, 0) != nil || h.Get(1, 10) != nil {
 		t.Fatal("EvictTable left table-1 blocks")
 	}
-	if c.Get(2, 0) == nil {
+	if h.Get(2, 0) == nil {
 		t.Fatal("EvictTable removed another table's block")
 	}
 	if c.Used() != 10 {
@@ -70,33 +86,151 @@ func TestBlockCacheEvictTable(t *testing.T) {
 }
 
 func TestNilBlockCacheSafe(t *testing.T) {
-	var c *BlockCache
-	c.Put(1, 0, []byte("x"))
-	if c.Get(1, 0) != nil {
+	var c *Cache
+	var h *Handle = c.NewHandle()
+	if h != nil {
+		t.Fatal("nil cache produced a live handle")
+	}
+	h.Put(1, 0, []byte("x"))
+	if h.Get(1, 0) != nil {
 		t.Fatal("nil cache returned data")
 	}
-	c.EvictTable(1)
-	if h, m := c.Stats(); h != 0 || m != 0 {
-		t.Fatal("nil cache has stats")
+	h.EvictTable(1)
+	h.Release()
+	if st := h.Stats(); st != (CacheStats{}) {
+		t.Fatal("nil handle has stats")
 	}
-	if c.Used() != 0 {
+	if hits, misses := h.HitMiss(); hits != 0 || misses != 0 {
+		t.Fatal("nil handle has hit/miss counts")
+	}
+	if c.Used() != 0 || c.Capacity() != 0 {
 		t.Fatal("nil cache has usage")
 	}
-	if NewBlockCache(0) != nil {
+	if c.Stats() != (CacheStats{}) {
+		t.Fatal("nil cache has stats")
+	}
+	if NewCache(0) != nil {
 		t.Fatal("zero-capacity cache not nil")
 	}
 }
 
+// TestCacheTenantIsolation pins the multi-tenant keying: two handles
+// using the same (table, offset) coordinates must not observe each
+// other's blocks — the property that lets every shard share one cache
+// without coordinating table-ID allocation.
+func TestCacheTenantIsolation(t *testing.T) {
+	c := NewCache(1 << 20)
+	a, b := c.NewHandle(), c.NewHandle()
+	a.Put(1, 0, []byte("from-a"))
+	if b.Get(1, 0) != nil {
+		t.Fatal("tenant b read tenant a's block")
+	}
+	b.Put(1, 0, []byte("from-b"))
+	if got := string(a.Get(1, 0)); got != "from-a" {
+		t.Fatalf("tenant a's block clobbered: %q", got)
+	}
+	if ra, rb := a.Stats().Resident, b.Stats().Resident; ra != 6 || rb != 6 {
+		t.Fatalf("per-tenant resident = %d/%d, want 6/6", ra, rb)
+	}
+	a.Release()
+	if a.Stats().Resident != 0 || a.Get(1, 0) != nil {
+		t.Fatal("Release left tenant a's blocks")
+	}
+	if got := string(b.Get(1, 0)); got != "from-b" {
+		t.Fatal("Release dropped another tenant's block")
+	}
+}
+
+// TestCacheScanResistance is the regression gate for the admission
+// filter: fill a hot working set, hammer it until it is established,
+// stream a full-keyspace one-touch scan 16x the cache size through the
+// same cache, then re-read the hot set. The scan-resistant default must
+// keep serving the hot set; the plain-LRU baseline must fail the same
+// floor (verifying the test has teeth — this is the behaviour the old
+// per-shard caches had).
+func TestCacheScanResistance(t *testing.T) {
+	const (
+		blockSize = 4 << 10
+		capacity  = 512 << 10
+		hotBlocks = 32
+		scanSpan  = 4096 // 16 MiB of one-touch traffic
+		floor     = 0.75
+	)
+	hotRate := func(c *Cache) float64 {
+		h := c.NewHandle()
+		blk := make([]byte, blockSize)
+		// Establish the hot set: enough rounds for promotion into the
+		// protected queue and a solid frequency-sketch footprint.
+		for round := 0; round < 8; round++ {
+			for i := uint64(0); i < hotBlocks; i++ {
+				if h.Get(1, i*blockSize) == nil {
+					h.Put(1, i*blockSize, blk)
+				}
+			}
+		}
+		// The scan: every block touched exactly once.
+		for i := uint64(0); i < scanSpan; i++ {
+			if h.Get(2, i*blockSize) == nil {
+				h.Put(2, i*blockSize, blk)
+			}
+		}
+		hits := 0
+		for i := uint64(0); i < hotBlocks; i++ {
+			if h.Get(1, i*blockSize) != nil {
+				hits++
+			}
+		}
+		return float64(hits) / hotBlocks
+	}
+	if rate := hotRate(NewCache(capacity)); rate < floor {
+		t.Errorf("scan-resistant cache: hot hit rate %.2f after scan, want >= %.2f", rate, floor)
+	}
+	if rate := hotRate(plainLRU(capacity)); rate >= floor {
+		t.Errorf("plain LRU unexpectedly scan-resistant (hot rate %.2f) — the regression floor has no teeth", rate)
+	}
+	// The deflected scan traffic must be visible in the stats.
+	c := NewCache(capacity)
+	_ = hotRate(c)
+	if st := c.Stats(); st.AdmissionRejects == 0 {
+		t.Error("no admission rejects recorded during the scan")
+	} else if st.Resident > st.Capacity {
+		t.Errorf("over budget: resident %d > capacity %d", st.Resident, st.Capacity)
+	}
+}
+
+// TestCacheProtectedPromotion checks the SLRU mechanics: a block
+// touched twice moves to the protected queue and outlives a burst of
+// one-touch arrivals that flows through probation.
+func TestCacheProtectedPromotion(t *testing.T) {
+	// One segment so queue behaviour is exact; admission on.
+	c := NewCacheOpts(CacheOptions{Bytes: 8 << 10, Segments: 1})
+	h := c.NewHandle()
+	blk := make([]byte, 1<<10)
+	h.Put(1, 0, blk)
+	if h.Get(1, 0) == nil { // second touch: promote
+		t.Fatal("resident block missed")
+	}
+	// Fill the rest of the segment with one-touch blocks, then keep
+	// pushing: the hot block must survive every displacement round.
+	for i := uint64(1); i < 32; i++ {
+		h.Put(1, i<<10, blk)
+	}
+	if h.Get(1, 0) == nil {
+		t.Fatal("promoted block evicted by one-touch traffic")
+	}
+}
+
 func TestBlockCacheConcurrent(t *testing.T) {
-	c := NewBlockCache(1 << 16)
+	c := NewCache(1 << 16)
+	h := c.NewHandle()
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
 			for i := 0; i < 1000; i++ {
-				c.Put(uint64(g), uint64(i%50)*64, make([]byte, 64))
-				c.Get(uint64(g), uint64(i%50)*64)
+				h.Put(uint64(g), uint64(i%50)*64, make([]byte, 64))
+				h.Get(uint64(g), uint64(i%50)*64)
 			}
 		}(g)
 	}
@@ -108,61 +242,68 @@ func TestBlockCacheConcurrent(t *testing.T) {
 
 // TestBlockCacheConcurrentContended drives parallel Put/Get/EvictTable/
 // Stats/Used over a *shared* key set through a cache small enough to
-// evict constantly — the access pattern of the sharded read hot path,
-// where every shard's readers share one per-shard cache. Run under
+// evict constantly — the access pattern of the store-wide read hot
+// path, where every shard's readers share the one cache. Run under
 // -race in CI; the invariant checked here is that the budget holds and
 // the structure survives.
 func TestBlockCacheConcurrentContended(t *testing.T) {
 	const capacity = 4 << 10
-	c := NewBlockCache(capacity)
+	c := NewCache(capacity)
+	h := c.NewHandle()
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {
 		wg.Add(1)
-		go func(g int) {
+		go func() {
 			defer wg.Done()
 			for i := 0; i < 2000; i++ {
 				// All goroutines fight over the same (table, offset)
-				// keys, forcing concurrent MoveToFront / eviction of
-				// shared list elements.
+				// keys, forcing concurrent recency moves / eviction of
+				// shared entries.
 				table := uint64(i % 4)
 				off := uint64(i%16) * 256
 				switch i % 7 {
 				case 0:
-					c.EvictTable(table)
+					h.EvictTable(table)
 				case 1, 2:
-					if blk := c.Get(table, off); blk != nil && len(blk) == 0 {
+					if blk := h.Get(table, off); blk != nil && len(blk) == 0 {
 						t.Error("cached block lost its contents")
 						return
 					}
 				default:
-					c.Put(table, off, make([]byte, 256))
+					h.Put(table, off, make([]byte, 256))
 				}
 				if u := c.Used(); u < 0 || u > capacity {
 					t.Errorf("cache budget violated: used=%d cap=%d", u, capacity)
 					return
 				}
 			}
-		}(g)
+		}()
 	}
 	wg.Wait()
-	hits, misses := c.Stats()
-	if hits+misses == 0 {
+	st := c.Stats()
+	if st.Hits+st.Misses == 0 {
 		t.Fatal("no cache traffic recorded")
 	}
 	if u := c.Used(); u > capacity {
 		t.Fatalf("cache over budget after churn: %d > %d", u, capacity)
 	}
+	if got := h.Stats().Resident; got != c.Used() {
+		t.Fatalf("tenant resident accounting drifted: handle %d, cache %d", got, c.Used())
+	}
 }
 
 // TestBlockCacheConcurrentReadersOneTable mimics the sharded Get path:
 // many readers hammering the same hot blocks while a background
-// compaction evicts a retired table. The hot blocks must remain
-// servable throughout.
+// compaction evicts a retired table, and a second tenant (another
+// shard) churning its own keys through the same shared cache. The hot
+// blocks must remain servable throughout.
 func TestBlockCacheConcurrentReadersOneTable(t *testing.T) {
-	c := NewBlockCache(1 << 20)
+	c := NewCache(1 << 20)
+	h := c.NewHandle()
+	other := c.NewHandle()
 	const hotTable, coldTable = 1, 2
 	for off := uint64(0); off < 32; off++ {
-		c.Put(hotTable, off*512, make([]byte, 512))
+		h.Put(hotTable, off*512, make([]byte, 512))
 	}
 	var wg sync.WaitGroup
 	var hits atomic.Int64
@@ -172,20 +313,23 @@ func TestBlockCacheConcurrentReadersOneTable(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < reads; i++ {
-				if c.Get(hotTable, uint64(i%32)*512) != nil {
+				if h.Get(hotTable, uint64(i%32)*512) != nil {
 					hits.Add(1)
 				}
 			}
 		}()
 	}
-	// Background churn: insert and evict a competing table repeatedly.
+	// Background churn: insert and evict a competing table repeatedly,
+	// on this tenant and on a second one.
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
 		for i := 0; i < 500; i++ {
-			c.Put(coldTable, uint64(i%8)*512, make([]byte, 512))
+			h.Put(coldTable, uint64(i%8)*512, make([]byte, 512))
+			other.Put(coldTable, uint64(i%8)*512, make([]byte, 512))
 			if i%10 == 0 {
-				c.EvictTable(coldTable)
+				h.EvictTable(coldTable)
+				other.Release()
 			}
 		}
 	}()
@@ -196,7 +340,7 @@ func TestBlockCacheConcurrentReadersOneTable(t *testing.T) {
 		t.Fatalf("hot-block hits = %d, want %d", got, readers*reads)
 	}
 	for off := uint64(0); off < 32; off++ {
-		if c.Get(hotTable, off*512) == nil {
+		if h.Get(hotTable, off*512) == nil {
 			t.Fatalf("hot block at offset %d evicted by smaller cold set", off*512)
 		}
 	}
@@ -209,8 +353,8 @@ func TestReaderServesFromCache(t *testing.T) {
 		w.Add(base.Entry{Key: []byte(fmt.Sprintf("key-%04d", i)), Value: []byte("v"), Seq: uint64(i + 1), Kind: base.KindSet})
 	}
 	w.Finish()
-	cache := NewBlockCache(1 << 20)
-	r, err := OpenWithCache(fs, 1, cache)
+	cache := NewCache(1 << 20)
+	r, err := OpenWithCache(fs, 1, cache.NewHandle())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,8 +367,7 @@ func TestReaderServesFromCache(t *testing.T) {
 	if !found || reads2 != 0 {
 		t.Fatalf("warm Get: found=%v reads=%d (want 0)", found, reads2)
 	}
-	hits, _ := cache.Stats()
-	if hits == 0 {
+	if cache.Stats().Hits == 0 {
 		t.Fatal("no cache hits recorded")
 	}
 }

@@ -82,8 +82,8 @@ func OpenCL(fs vfs.FS, id uint64) (*CLReader, error) {
 // OpenCLWithCache opens CL-SSTable id in fs. The log file it references
 // must still exist; the engine keeps it alive until the table is
 // compacted away. Index blocks are served through the (possibly nil)
-// shared cache; log records are not cached.
-func OpenCLWithCache(fs vfs.FS, id uint64, cache *BlockCache) (*CLReader, error) {
+// block-cache handle; log records are not cached.
+func OpenCLWithCache(fs vfs.FS, id uint64, cache *Handle) (*CLReader, error) {
 	f, err := fs.Open(CLIndexFileName(id))
 	if err != nil {
 		return nil, err

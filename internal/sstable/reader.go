@@ -21,7 +21,7 @@ type Reader struct {
 	sketch *hll.Sketch
 	props  props
 	size   int64
-	cache  *BlockCache // optional shared block cache
+	cache  *Handle // optional view of the shared block cache
 }
 
 var _ Table = (*Reader)(nil)
@@ -32,8 +32,8 @@ func Open(fs vfs.FS, id uint64) (*Reader, error) {
 }
 
 // OpenWithCache opens SSTable id in fs, serving data blocks through the
-// (possibly nil) shared cache.
-func OpenWithCache(fs vfs.FS, id uint64, cache *BlockCache) (*Reader, error) {
+// (possibly nil) block-cache handle.
+func OpenWithCache(fs vfs.FS, id uint64, cache *Handle) (*Reader, error) {
 	f, err := fs.Open(FileName(id))
 	if err != nil {
 		return nil, err

@@ -13,6 +13,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math/rand"
+	"sync"
 )
 
 // KeyDist picks key indexes in [0, Keys) with some popularity skew.
@@ -87,17 +88,43 @@ func (h HotCold) AccessProbability(i uint64) float64 {
 type Zipf struct {
 	N uint64
 	S float64
-	// zipf is lazily built per goroutine via NewSource; rand.Zipf is not
-	// concurrency-safe, so Next builds one per rng on first use, keyed
-	// by the rng itself.
 }
 
-// Next implements KeyDist. A rand.Zipf is derived deterministically from
-// the rng's next value, keeping streams reproducible and goroutine-local.
+// zipfKey identifies one sampler: rand.Zipf is not concurrency-safe and
+// its constructor is expensive (it computes the distribution's
+// normalization terms), so one sampler is built per (rng, N, S) and
+// reused for the life of the stream. Keying by the rng pointer keeps
+// samplers goroutine-local — each worker owns its rng — and streams stay
+// reproducible: the sampler consumes the same rng in the same order.
+type zipfKey struct {
+	rng *rand.Rand
+	n   uint64
+	s   float64
+}
+
+// zipfSamplers caches constructed samplers. Entries are tiny (a few
+// words each) and bounded by live (worker, distribution) pairs per
+// process run, so no eviction is needed.
+var zipfSamplers sync.Map // zipfKey -> *rand.Zipf
+
+func zipfFor(rng *rand.Rand, n uint64, s float64) *rand.Zipf {
+	k := zipfKey{rng: rng, n: n, s: s}
+	if v, ok := zipfSamplers.Load(k); ok {
+		return v.(*rand.Zipf)
+	}
+	zf := rand.NewZipf(rng, s, 1, n-1)
+	if zf != nil {
+		zipfSamplers.Store(k, zf)
+	}
+	return zf
+}
+
+// Next implements KeyDist. The underlying sampler is constructed once
+// per rng (not per sample — rebuilding it per call dominated the
+// generator's cost) and consumes the rng directly; safe because each
+// worker owns its rng.
 func (z Zipf) Next(rng *rand.Rand) uint64 {
-	// rand.NewZipf consumes the rng directly; safe because each worker
-	// owns its rng.
-	zf := rand.NewZipf(rng, z.S, 1, z.N-1)
+	zf := zipfFor(rng, z.N, z.S)
 	if zf == nil {
 		return 0
 	}
@@ -109,6 +136,56 @@ func (z Zipf) Keys() uint64 { return z.N }
 
 // Name implements KeyDist.
 func (z Zipf) Name() string { return fmt.Sprintf("zipf(s=%g)", z.S) }
+
+// MultiTenant models several tenants sharing one store, with traffic
+// skewed across tenants: tenant ranks are drawn Zipf(TenantS), and the
+// chosen tenant then draws a key from its own contiguous slice of the
+// keyspace using the inner PerTenant distribution. Pairing it with a
+// range-partitioned store whose splits align with the tenant slices
+// turns tenant skew into shard skew — the hot-shard/cold-shard imbalance
+// the shared block cache exists to absorb.
+type MultiTenant struct {
+	// Tenants is the tenant count; tenant t owns key indexes
+	// [t*PerTenant.Keys(), (t+1)*PerTenant.Keys()).
+	Tenants int
+	// TenantS is the Zipf exponent over tenant ranks (> 1; larger is
+	// more skewed toward tenant 0).
+	TenantS float64
+	// PerTenant picks the key within the chosen tenant's slice.
+	PerTenant KeyDist
+}
+
+// Next implements KeyDist.
+func (m MultiTenant) Next(rng *rand.Rand) uint64 {
+	var t uint64
+	if m.Tenants > 1 {
+		if zf := zipfFor(rng, uint64(m.Tenants), m.TenantS); zf != nil {
+			t = zf.Uint64()
+		}
+	}
+	return t*m.PerTenant.Keys() + m.PerTenant.Next(rng)
+}
+
+// Keys implements KeyDist.
+func (m MultiTenant) Keys() uint64 { return uint64(m.Tenants) * m.PerTenant.Keys() }
+
+// Name implements KeyDist.
+func (m MultiTenant) Name() string {
+	return fmt.Sprintf("multitenant(%d x %s, s=%g)", m.Tenants, m.PerTenant.Name(), m.TenantS)
+}
+
+// TenantSplits returns the Tenants-1 split keys (of keySize bytes)
+// aligning a range partitioner's shard boundaries with the tenant
+// slices, so each tenant's traffic lands on its own shard.
+func (m MultiTenant) TenantSplits(keySize int) [][]byte {
+	splits := make([][]byte, 0, m.Tenants-1)
+	for t := 1; t < m.Tenants; t++ {
+		k := make([]byte, keySize)
+		EncodeKey(k, uint64(t)*m.PerTenant.Keys())
+		splits = append(splits, k)
+	}
+	return splits
+}
 
 // Production approximates one of the four Nutanix metadata workloads
 // (paper §5.2). Figure 7 shows two families of popularity curves — W2 and

@@ -31,6 +31,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/shard"
+	"repro/internal/sstable"
 	"repro/internal/vfs"
 )
 
@@ -57,6 +58,11 @@ type Options struct {
 	MemtableBytes int64
 	// CommitLogBytes overrides the commit-log budget when > 0.
 	CommitLogBytes int64
+	// BlockCacheBytes, when > 0, is the STORE-WIDE data-block cache
+	// budget: one lock-striped, scan-resistant cache shared by all shards
+	// (not a per-shard slice), so cache memory follows whichever shards
+	// are hot. 0 disables caching.
+	BlockCacheBytes int64
 	// SyncWAL syncs the commit log on every write.
 	SyncWAL bool
 	// Shards, when > 1, hash-partitions the keyspace across that many
@@ -161,6 +167,7 @@ type engine interface {
 	Flush() error
 	Stats() string
 	CacheStats() (hits, misses int64)
+	BlockCacheStats() sstable.CacheStats
 	Metrics() metrics.Snapshot
 	NumLevelFiles() []int
 	OpenSnapshots() int
@@ -203,6 +210,9 @@ func Open(o Options) (*DB, error) {
 		if o.CommitLogBytes > 0 {
 			opts.CommitLogBytes = o.CommitLogBytes
 		}
+		if o.BlockCacheBytes > 0 {
+			opts.BlockCacheBytes = o.BlockCacheBytes
+		}
 		opts.SyncWAL = o.SyncWAL
 	}
 	if o.Shards > 1 && o.ShardFS == nil {
@@ -223,12 +233,19 @@ func Open(o Options) (*DB, error) {
 		// shard count down to one — opens through the shard layer, which
 		// owns the durable store metadata and its reopen validation.
 		opts.FS = nil
-		inner, err := shard.Open(shard.Options{
+		so := shard.Options{
 			Shards:      o.Shards,
 			Engine:      opts,
 			NewFS:       o.ShardFS,
 			Partitioner: part,
-		})
+		}
+		if opts.BlockCacheBytes > 0 {
+			// BlockCacheBytes is the store-wide budget, not a per-shard
+			// slice: build the shared cache at exactly that size instead
+			// of letting the shard layer multiply a per-shard share.
+			so.BlockCache = sstable.NewCache(opts.BlockCacheBytes)
+		}
+		inner, err := shard.Open(so)
 		if err != nil {
 			return nil, err
 		}
@@ -355,6 +372,14 @@ func (db *DB) Stats() string { return db.inner.Stats() }
 // CacheStats reports block-cache hits and misses (zeros when the cache is
 // disabled, the default).
 func (db *DB) CacheStats() (hits, misses int64) { return db.inner.CacheStats() }
+
+// BlockCacheStats reports the full block-cache counters: hits, misses,
+// resident and capacity bytes, evictions, and scan-admission rejects.
+func (db *DB) BlockCacheStats() sstable.CacheStats { return db.inner.BlockCacheStats() }
+
+// BlockCacheStats re-exports the cache counter type for callers of
+// DB.BlockCacheStats.
+type BlockCacheStats = sstable.CacheStats
 
 // Metrics snapshots the engine counters (write/read amplification,
 // flush/compaction bytes and times).
