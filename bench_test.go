@@ -537,7 +537,39 @@ func BenchmarkNetObsOverhead(b *testing.B) {
 	}{{"instrumented", false}, {"no-op", true}} {
 		b.Run(v.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				res, err := harness.NetRun(s, 4, 8, false, v.noObs)
+				res, err := harness.NetRun(s, 4, 8, false, v.noObs, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.KOPS, "kops")
+				b.ReportMetric(float64(res.P99.Nanoseconds())/1000, "p99_us")
+			}
+		})
+	}
+}
+
+// BenchmarkTraceOverhead is the acceptance benchmark for request
+// tracing: the 8-connection net experiment at -trace-sample 0 (tracer
+// off entirely), 0.01 (a production-reasonable rate, which must stay
+// within noise of the no-observability floor), and 1.0 (every command
+// traced — the worst case, quantifying what full tracing costs).
+func BenchmarkTraceOverhead(b *testing.B) {
+	s := benchScale()
+	s.Keys = 20_000
+	s.Ops = 40_000
+	for _, v := range []struct {
+		name   string
+		noObs  bool
+		sample float64
+	}{
+		{"no-observability", true, 0},
+		{"sample-0", false, 0},
+		{"sample-0.01", false, 0.01},
+		{"sample-1", false, 1},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := harness.NetRun(s, 4, 8, false, v.noObs, v.sample)
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -120,8 +120,9 @@ func main() {
 			m.BytesLogged, m.BytesFlushed, m.BytesCompacted)
 		fmt.Printf("WA: %.2f  RA: %.2f\n", m.WriteAmplification(), m.ReadAmplification())
 		if *shards > 1 {
-			// The sharded engine's dump adds the partitioner and the
-			// per-shard balance table.
+			// The sharded engine's dump adds the partitioner, the
+			// per-shard balance table, and the ledger's WA decomposition
+			// (user/WAL/flush/compaction bytes by source).
 			fmt.Print(db.Stats())
 		}
 		if h := db.ApplyLatency(); h != nil && h.Count() > 0 {

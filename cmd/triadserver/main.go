@@ -10,7 +10,8 @@
 //	triadserver -addr :6379 -dir d -shards 4 -partitioner range -splits g,n,t
 //	triadserver -addr :6379 -metrics 127.0.0.1:9379  # plain-text /metrics dump
 //
-// Commands: GET, SET, DEL, MGET, MSET, SCAN, STATS, FLUSH, PING, QUIT.
+// Commands: GET, SET, DEL, MGET, MSET, SCAN, EVENTS, SLOWLOG, TRACE,
+// STATS, FLUSH, PING, QUIT.
 // Any RESP2 client works, redis-cli included:
 //
 //	redis-cli -p 6379 SET user:1 alice
@@ -73,6 +74,8 @@ func run(args []string, stdout, stderr io.Writer, ready func(addr string)) int {
 		enablePprof = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof on the -metrics listener (off by default: profiling endpoints let any client with HTTP access run CPU/heap captures, so bind -metrics to localhost when enabling)")
 		noObs       = fs.Bool("no-observability", false, "disable latency histograms, stage timing, event journal and slowlog (overhead comparison)")
 		slowlogThr  = fs.Duration("slowlog-threshold", 10*time.Millisecond, "record commands slower than this in SLOWLOG (negative: disable the slowlog)")
+		traceSample = fs.Float64("trace-sample", 0, "sample this fraction of commands for end-to-end tracing (0: off, 1: every command); inspect with TRACE RECENT / TRACE GET / /debug/trace")
+		traceKeep   = fs.Int("trace-keep", 256, "finished traces retained in the TRACE ring")
 		cursorTTL   = fs.Duration("cursor-ttl", 60*time.Second, "close idle SCAN cursors (and release their pinned snapshots) after this long")
 		maxCursors  = fs.Int("max-cursors", 16, "cap on open SCAN cursors per connection")
 	)
@@ -96,6 +99,8 @@ func run(args []string, stdout, stderr io.Writer, ready func(addr string)) int {
 		MaxCursorsPerConn:    *maxCursors,
 		DisableObservability: *noObs,
 		SlowlogThreshold:     *slowlogThr,
+		TraceSample:          *traceSample,
+		TraceKeep:            *traceKeep,
 		Logf: func(format string, a ...any) {
 			fmt.Fprintf(stderr, format+"\n", a...)
 		},

@@ -43,7 +43,7 @@ func TestServerSmoke(t *testing.T) {
 	exit := make(chan int, 1)
 	go func() {
 		exit <- run(
-			[]string{"-addr", "127.0.0.1:0", "-shards", "2", "-commit-delay", "100us", "-metrics", "127.0.0.1:0"},
+			[]string{"-addr", "127.0.0.1:0", "-shards", "2", "-commit-delay", "100us", "-metrics", "127.0.0.1:0", "-trace-sample", "1"},
 			&stdout, &stderr,
 			func(addr string) { ready <- addr },
 		)
@@ -89,6 +89,24 @@ func TestServerSmoke(t *testing.T) {
 	}
 	if stats, err := c.Stats(); err != nil || !strings.Contains(stats, "shards: 2") {
 		t.Fatalf("STATS: %v\n%s", err, stats)
+	}
+	// STATS carries the ledger's WA decomposition once user bytes landed.
+	if stats, _ := c.Stats(); !strings.Contains(stats, "WA decomposition") {
+		t.Fatalf("STATS missing WA decomposition:\n%s", stats)
+	}
+
+	// With -trace-sample 1 every command is traced: TRACE RECENT has the
+	// traffic above, and TRACE GET resolves one id to a span breakdown.
+	recent, err := c.TraceRecent(10)
+	if err != nil || len(recent) == 0 {
+		t.Fatalf("TRACE RECENT: %d traces, %v", len(recent), err)
+	}
+	var traceID uint64
+	if _, err := fmt.Sscanf(recent[0], "#%d", &traceID); err != nil {
+		t.Fatalf("unparseable TRACE RECENT line %q: %v", recent[0], err)
+	}
+	if rendered, found, err := c.TraceGet(traceID); err != nil || !found || !strings.Contains(rendered, "decode") {
+		t.Fatalf("TRACE GET %d = found=%v err=%v\n%s", traceID, found, err, rendered)
 	}
 
 	// A paged SCAN / SCAN CONT / SCAN CLOSE round trip: open a cursor
@@ -151,11 +169,26 @@ func TestServerSmoke(t *testing.T) {
 		`triad_apply_latency_seconds_count`,
 		`triad_shard_hot_budget{shard="0"}`,
 		`triad_shard_write_amplification{shard="1"}`,
+		`triad_io_bytes_total{shard="0",source="wal"}`,
+		`triad_io_bytes_total{shard="1",source="user_write"}`,
 		"triad_user_writes_total",
+		"triad_journal_dropped_total",
+		"triad_traces_sampled_total",
 		"# TYPE triad_cmd_latency_seconds histogram",
 	} {
 		if !strings.Contains(dump, want) {
 			t.Errorf("metrics dump missing %s", want)
+		}
+	}
+	// /debug/trace on the same listener renders the sampled traces.
+	base := metricsURL[:strings.LastIndex(metricsURL, "/")]
+	if res, err := http.Get(base + "/debug/trace?n=3"); err != nil {
+		t.Fatal(err)
+	} else {
+		tbody, _ := io.ReadAll(res.Body)
+		res.Body.Close()
+		if !strings.Contains(string(tbody), "traces sampled") || !strings.Contains(string(tbody), "decode") {
+			t.Errorf("/debug/trace dump unexpected:\n%s", tbody)
 		}
 	}
 	// The SETs above must be visible in the set-family histogram.

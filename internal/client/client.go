@@ -384,6 +384,40 @@ func (c *Conn) ScanAll(start, limit []byte) (keys, vals [][]byte, err error) {
 	return keys, vals, nil
 }
 
+// TraceRecent fetches up to n retained trace summaries (n <= 0: all),
+// newest first — one line per trace, as rendered by TRACE RECENT. An
+// empty slice means the server is not tracing (-trace-sample 0) or
+// nothing has been sampled yet.
+func (c *Conn) TraceRecent(n int) ([]string, error) {
+	args := [][]byte{[]byte("RECENT")}
+	if n > 0 {
+		args = append(args, []byte(fmt.Sprint(n)))
+	}
+	v, err := c.Do("TRACE", args...)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(v.Elems))
+	for _, e := range v.Elems {
+		out = append(out, string(e.Str))
+	}
+	return out, nil
+}
+
+// TraceGet fetches one trace's full span breakdown by id (the #N number
+// in TRACE RECENT and slowlog lines; a leading '#' is accepted). found
+// is false when the ring has already overwritten the trace.
+func (c *Conn) TraceGet(id uint64) (rendered string, found bool, err error) {
+	v, err := c.Do("TRACE", []byte("GET"), []byte(fmt.Sprint(id)))
+	if err != nil {
+		return "", false, err
+	}
+	if v.Null {
+		return "", false, nil
+	}
+	return string(v.Str), true, nil
+}
+
 // Stats fetches the server's STATS dump.
 func (c *Conn) Stats() (string, error) {
 	v, err := c.Do("STATS")

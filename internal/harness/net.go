@@ -45,11 +45,11 @@ func NetThroughput(s Scale, w io.Writer) ([]Cell, error) {
 	fmt.Fprintf(tw, "Net throughput: RESP over loopback, 90%% SET / 10%% GET, pipeline depth %d, %d shards\n", netDepth, shards)
 	fmt.Fprintln(tw, "conns\tgroup KOPS\tp50\tp99\tper-op KOPS\tp50\tp99\tgain")
 	for _, conns := range connCounts {
-		on, err := runNet(s, shards, conns, false, false)
+		on, err := runNet(s, shards, conns, false, false, 0)
 		if err != nil {
 			return nil, fmt.Errorf("net c=%d gc=on: %w", conns, err)
 		}
-		off, err := runNet(s, shards, conns, true, false)
+		off, err := runNet(s, shards, conns, true, false, 0)
 		if err != nil {
 			return nil, fmt.Errorf("net c=%d gc=off: %w", conns, err)
 		}
@@ -63,16 +63,17 @@ func NetThroughput(s Scale, w io.Writer) ([]Cell, error) {
 	return cells, tw.Flush()
 }
 
-// NetRun measures one (connection count, commit mode, observability)
-// configuration of the net experiment. Exported for the observability
-// overhead benchmark, which compares the instrumented server against
-// the same server with nil recorders.
-func NetRun(s Scale, shards, conns int, gcOff, noObs bool) (Result, error) {
-	return runNet(s, shards, conns, gcOff, noObs)
+// NetRun measures one (connection count, commit mode, observability,
+// trace sampling) configuration of the net experiment. Exported for
+// the observability and tracing overhead benchmarks, which compare the
+// instrumented server against the same server with nil recorders and
+// against various -trace-sample rates.
+func NetRun(s Scale, shards, conns int, gcOff, noObs bool, traceSample float64) (Result, error) {
+	return runNet(s, shards, conns, gcOff, noObs, traceSample)
 }
 
 // runNet measures one (connection count, commit mode) configuration.
-func runNet(s Scale, shards, conns int, gcOff, disableObs bool) (Result, error) {
+func runNet(s Scale, shards, conns int, gcOff, disableObs bool, traceSample float64) (Result, error) {
 	db, err := shard.Open(shard.Options{
 		Shards:               shards,
 		Engine:               shard.DivideBudgets(s.engine("triad"), shards),
@@ -95,7 +96,7 @@ func runNet(s Scale, shards, conns int, gcOff, disableObs bool) (Result, error) 
 		return Result{}, err
 	}
 
-	srv := server.New(db, server.Config{DisableGroupCommit: gcOff, DisableObservability: disableObs})
+	srv := server.New(db, server.Config{DisableGroupCommit: gcOff, DisableObservability: disableObs, TraceSample: traceSample})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return Result{}, err

@@ -3,8 +3,10 @@ package lsm
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/base"
+	"repro/internal/obs"
 )
 
 // Batch collects writes to be applied together. Application is atomic
@@ -93,7 +95,7 @@ func (b *Batch) prepare() error {
 
 // Apply commits the batch at the next internal sequence number. The
 // batch may be Reset and reused afterwards.
-func (db *DB) Apply(b *Batch) error { return db.commit(0, b) }
+func (db *DB) Apply(b *Batch) error { return db.commit(0, b, nil) }
 
 // CommitAt commits the batch with every record carrying the externally
 // assigned sequence seq. This is the commit stage the sharded engine
@@ -104,16 +106,23 @@ func (db *DB) Apply(b *Batch) error { return db.commit(0, b) }
 // ticket ordering guarantees it); a regressing seq is an error and
 // commits nothing.
 func (db *DB) CommitAt(seq uint64, b *Batch) error {
+	return db.CommitAtTraced(seq, b, nil)
+}
+
+// CommitAtTraced is CommitAt with the group's sampled request traces
+// attached: the engine records aggregated wal_append and memtable_apply
+// spans into each. trs is nil for every untraced group.
+func (db *DB) CommitAtTraced(seq uint64, b *Batch, trs obs.Traces) error {
 	if seq == 0 {
 		return errors.New("lsm: CommitAt requires a non-zero sequence")
 	}
-	return db.commit(seq, b)
+	return db.commit(seq, b, trs)
 }
 
 // commit runs the pipeline: prepare (validation, lock-free), then the
 // commit stage under db.mu — absorb backpressure, fix the sequence, and
 // append to log and memtable. seq 0 means self-assigned.
-func (db *DB) commit(seq uint64, b *Batch) error {
+func (db *DB) commit(seq uint64, b *Batch, trs obs.Traces) error {
 	if err := b.prepare(); err != nil {
 		return err
 	}
@@ -136,26 +145,61 @@ func (db *DB) commit(seq uint64, b *Batch) error {
 	} else {
 		db.seq = seq
 	}
-	return db.commitLocked(seq, b)
+	return db.commitLocked(seq, b, trs)
 }
 
 // commitLocked is the write stage: every record is appended to the WAL
 // and the memtable at sequence seq (one sequence for the whole batch —
 // the batch is one commit-order event). Caller holds db.mu and has
-// already advanced db.seq to seq.
-func (db *DB) commitLocked(seq uint64, b *Batch) error {
+// already advanced db.seq to seq. When traces ride the batch, the loop
+// times its two halves and records one aggregated wal_append and
+// memtable_apply span per trace (the group commits as a unit, so every
+// rider paid for the whole loop).
+func (db *DB) commitLocked(seq uint64, b *Batch, trs obs.Traces) error {
+	traced := len(trs) > 0
+	var t0, ts time.Time
+	var walDur, memDur time.Duration
+	var walBytes, userBytes int64
+	if traced {
+		t0 = time.Now()
+	}
 	for i := range b.ops {
 		e := &b.ops[i]
 		rec := base.Entry{Key: e.Key, Value: e.Value, Seq: seq, Kind: e.Kind}
+		if traced {
+			ts = time.Now()
+		}
 		off, n, err := db.log.Append(rec)
+		if traced {
+			walDur += time.Since(ts)
+		}
 		if err != nil {
+			// Keep the ledger in lockstep with the met counters even on
+			// a torn batch: charge what the loop already logged.
+			db.opts.Ledger.Add(obs.SrcWAL, walBytes)
+			db.opts.Ledger.Add(obs.SrcUser, userBytes)
 			return err
 		}
 		db.met.BytesLogged.Add(int64(n))
+		walBytes += int64(n)
+		if traced {
+			ts = time.Now()
+		}
 		db.preserveLocked(e.Key)
 		db.mem.Set(e.Key, e.Value, seq, e.Kind, db.log.ID(), off)
+		if traced {
+			memDur += time.Since(ts)
+		}
 		db.met.UserWrites.Add(1)
 		db.met.UserBytes.Add(rec.Size())
+		userBytes += rec.Size()
+	}
+	db.opts.Ledger.Add(obs.SrcWAL, walBytes)
+	db.opts.Ledger.Add(obs.SrcUser, userBytes)
+	if traced {
+		detail := fmt.Sprintf("shard %d, %d ops, %dB", db.opts.EventShard, b.Len(), walBytes)
+		trs.SpanAt(obs.SpanWALAppend, t0, walDur, detail)
+		trs.SpanAt(obs.SpanMemtableApply, t0, memDur, detail)
 	}
 	b.committed = true
 	return db.maybeRotateLocked()

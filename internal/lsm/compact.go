@@ -222,6 +222,7 @@ func (db *DB) runCompaction(job *compaction.Job) error {
 		return err
 	}
 	db.met.BytesCompacted.Add(written)
+	db.opts.Ledger.Add(obs.SrcCompactionWrite, written)
 
 	if err := db.installCompaction(all, outputs); err != nil {
 		return err
@@ -230,6 +231,7 @@ func (db *DB) runCompaction(job *compaction.Job) error {
 	for _, f := range all {
 		inBytes += f.Size
 	}
+	db.opts.Ledger.Add(obs.SrcCompactionRead, inBytes)
 	detail := fmt.Sprintf("L%d->L%d, %d outputs", job.Level, outLevel, len(outputs))
 	if job.WholeTree {
 		detail = fmt.Sprintf("size-tiered %d-way, %d outputs", len(all), len(outputs))

@@ -265,6 +265,7 @@ func (db *DB) populateLog(w *wal.Writer, mem *memtable.Memtable) error {
 			return err
 		}
 		db.met.BytesLogged.Add(int64(n))
+		db.opts.Ledger.Add(obs.SrcWAL, int64(n))
 		mem.SetLogPos(e, w.ID(), off)
 	}
 	return nil
@@ -307,10 +308,12 @@ func (db *DB) write(key, value []byte, kind base.Kind) error {
 		return err
 	}
 	db.met.BytesLogged.Add(int64(n))
+	db.opts.Ledger.Add(obs.SrcWAL, int64(n))
 	db.preserveLocked(k)
 	db.mem.Set(k, v, e.Seq, kind, db.log.ID(), off)
 	db.met.UserWrites.Add(1)
 	db.met.UserBytes.Add(e.Size())
+	db.opts.Ledger.Add(obs.SrcUser, e.Size())
 	return db.maybeRotateLocked()
 }
 
@@ -431,6 +434,13 @@ func (db *DB) sealLocked() error {
 
 // Get returns the value stored under key, or ErrNotFound.
 func (db *DB) Get(key []byte) ([]byte, error) {
+	return db.GetTraced(key, nil)
+}
+
+// GetTraced is Get with an optional sampled trace attached: any
+// cache-missing table read the lookup performs is recorded as an
+// sstable_read span. tr is nil on the untraced path.
+func (db *DB) GetTraced(key []byte, tr *obs.Trace) ([]byte, error) {
 	db.met.UserReads.Add(1)
 	// Snapshot the memtable stack.
 	db.mu.Lock()
@@ -453,7 +463,7 @@ func (db *DB) Get(key []byte) ([]byte, error) {
 		}
 	}
 
-	return db.getFromVersion(nil, key)
+	return db.getFromVersion(nil, key, tr)
 }
 
 func entryValue(e base.Entry) ([]byte, error) {

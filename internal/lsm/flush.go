@@ -147,6 +147,7 @@ func (db *DB) flushImmutable(imm *immutable) error {
 					return err
 				}
 				db.met.BytesLogged.Add(int64(n))
+				db.opts.Ledger.Add(obs.SrcWAL, int64(n))
 				// The write-back overwrites the live memtable's version
 				// in place; keep it for any snapshot that pinned it.
 				if curOK && db.maxPinned != 0 && cur.Seq <= db.maxPinned {
@@ -183,6 +184,7 @@ func (db *DB) flushImmutable(imm *immutable) error {
 		return err
 	}
 	db.met.BytesFlushed.Add(written)
+	db.opts.Ledger.Add(obs.SrcFlush, written)
 	db.met.Flushes.Add(1)
 
 	if err := db.installFlush(meta); err != nil {

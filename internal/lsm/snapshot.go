@@ -180,7 +180,7 @@ func (s *Snapshot) Get(key []byte) ([]byte, error) {
 	}
 	// Disk tier: every file in the pinned version predates the capture,
 	// so its entries all satisfy Seq <= s.seq — no filtering needed.
-	return db.getFromVersion(s.version, key)
+	return db.getFromVersion(s.version, key, nil)
 }
 
 // Close releases the snapshot's pin. Iterators opened from the snapshot
@@ -274,6 +274,7 @@ func (db *DB) releaseSnapshot(s *Snapshot) {
 		freed += f.Size
 	}
 	if len(free) > 0 {
+		db.opts.Ledger.Add(obs.SrcSnapshotGC, freed)
 		db.opts.Events.Add(obs.Event{
 			Kind: obs.EventSnapshotGC, Shard: db.opts.EventShard, Level: -1,
 			Dur: time.Since(start), In: freed, Files: len(free),
@@ -296,8 +297,9 @@ func (db *DB) OverlaySize() int { return db.overlay.size() }
 // getFromVersion walks the disk component of version v for key (nil
 // means the current version, resolved under the lock). It is the shared
 // tail of DB.Get and Snapshot.Get; a snapshot's pinned version is safe
-// here because its file references keep every table open.
-func (db *DB) getFromVersion(v *manifest.Version, key []byte) ([]byte, error) {
+// here because its file references keep every table open. tr (nil on
+// the untraced path) collects an sstable_read span per disk read.
+func (db *DB) getFromVersion(v *manifest.Version, key []byte, tr *obs.Trace) ([]byte, error) {
 	db.versionMu.RLock()
 	defer db.versionMu.RUnlock()
 	if db.tables == nil {
@@ -313,7 +315,7 @@ func (db *DB) getFromVersion(v *manifest.Version, key []byte) ([]byte, error) {
 		var best base.Entry
 		var bestFound bool
 		for _, f := range v.Levels[0] {
-			e, found, reads, err := db.tables[f.ID].Get(key)
+			e, found, reads, err := db.tables[f.ID].Get(key, tr)
 			db.met.TableDiskReads.Add(int64(reads))
 			if err != nil {
 				return nil, err
@@ -329,7 +331,7 @@ func (db *DB) getFromVersion(v *manifest.Version, key []byte) ([]byte, error) {
 	}
 	// L0: newest to oldest, all files (overlapping ranges).
 	for _, f := range v.Levels[0] {
-		e, found, reads, err := db.tables[f.ID].Get(key)
+		e, found, reads, err := db.tables[f.ID].Get(key, tr)
 		db.met.TableDiskReads.Add(int64(reads))
 		if err != nil {
 			return nil, err
@@ -341,7 +343,7 @@ func (db *DB) getFromVersion(v *manifest.Version, key []byte) ([]byte, error) {
 	// Deeper levels: at most one file each.
 	for l := 1; l < manifest.NumLevels; l++ {
 		for _, f := range v.Overlapping(l, key, key) {
-			e, found, reads, err := db.tables[f.ID].Get(key)
+			e, found, reads, err := db.tables[f.ID].Get(key, tr)
 			db.met.TableDiskReads.Add(int64(reads))
 			if err != nil {
 				return nil, err

@@ -81,7 +81,9 @@ func (e Event) String() string {
 		fmt.Fprintf(&b, " files=%d", e.Files)
 	}
 	if e.Detail != "" {
-		fmt.Fprintf(&b, " %s", e.Detail)
+		// Detail is free-form engine text; escape it so a binary key
+		// echoed into an error detail can't hit the terminal raw.
+		fmt.Fprintf(&b, " %s", EscapeText(e.Detail))
 	}
 	return b.String()
 }
@@ -128,6 +130,20 @@ func (j *Journal) Total() uint64 {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.next
+}
+
+// Dropped reports how many events the ring has overwritten: a nonzero
+// value means Events is showing a window, not the whole history.
+func (j *Journal) Dropped() uint64 {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.next > uint64(len(j.ring)) {
+		return j.next - uint64(len(j.ring))
+	}
+	return 0
 }
 
 // Events returns up to max retained events, newest first (max <= 0:

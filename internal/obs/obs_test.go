@@ -236,12 +236,12 @@ func TestEventString(t *testing.T) {
 
 func TestSlowLog(t *testing.T) {
 	l := NewSlowLog(3, time.Millisecond)
-	l.Observe("get", []byte("fast"), 10*time.Microsecond) // below threshold
+	l.Observe("get", []byte("fast"), 10*time.Microsecond, 0) // below threshold
 	if l.Total() != 0 {
 		t.Fatal("fast command was logged")
 	}
 	for i := 0; i < 5; i++ {
-		l.Observe("set", []byte(fmt.Sprintf("key-%d", i)), time.Duration(i+2)*time.Millisecond)
+		l.Observe("set", []byte(fmt.Sprintf("key-%d", i)), time.Duration(i+2)*time.Millisecond, 0)
 	}
 	if l.Total() != 5 {
 		t.Fatalf("Total = %d, want 5", l.Total())
@@ -254,7 +254,7 @@ func TestSlowLog(t *testing.T) {
 		t.Fatalf("Entries = %v", es)
 	}
 	// Long keys are truncated to a preview.
-	l.Observe("set", []byte(strings.Repeat("x", 500)), time.Second)
+	l.Observe("set", []byte(strings.Repeat("x", 500)), time.Second, 0)
 	if got := l.Entries(1)[0]; len(got.Key) != maxSlowKeyBytes {
 		t.Fatalf("key preview len = %d, want %d", len(got.Key), maxSlowKeyBytes)
 	}
@@ -266,12 +266,12 @@ func TestSlowLog(t *testing.T) {
 		t.Fatalf("Total after Reset = %d, want 6 (lifetime)", l.Total())
 	}
 	// IDs keep counting after Reset.
-	l.Observe("del", nil, time.Second)
+	l.Observe("del", nil, time.Second, 0)
 	if es := l.Entries(0); len(es) != 1 || es[0].ID != 7 {
 		t.Fatalf("post-Reset Entries = %v", es)
 	}
 	var nilL *SlowLog
-	nilL.Observe("get", nil, time.Hour)
+	nilL.Observe("get", nil, time.Hour, 0)
 	if nilL.Total() != 0 || nilL.Entries(0) != nil || nilL.Threshold() != 0 {
 		t.Fatal("nil SlowLog retained state")
 	}

@@ -17,11 +17,19 @@ type SlowEntry struct {
 	// first key (truncated), enough to find the offender.
 	Cmd string
 	Key string
+	// Trace is the command's trace id when it happened to be sampled
+	// (0 otherwise): the link from "this was slow" to its full span
+	// breakdown via TRACE GET.
+	Trace uint64
 }
 
 // String renders the entry as one greppable line.
 func (e SlowEntry) String() string {
-	return fmt.Sprintf("#%d %s %s %s %q", e.ID, e.Time.Format("15:04:05.000"), e.Dur.Round(time.Microsecond), e.Cmd, e.Key)
+	s := fmt.Sprintf("#%d %s %s %s %q", e.ID, e.Time.Format("15:04:05.000"), e.Dur.Round(time.Microsecond), e.Cmd, e.Key)
+	if e.Trace != 0 {
+		s += fmt.Sprintf(" trace=#%d", e.Trace)
+	}
+	return s
 }
 
 // maxSlowKeyBytes bounds the key preview a slow entry copies.
@@ -52,14 +60,15 @@ func NewSlowLog(n int, threshold time.Duration) *SlowLog {
 
 // Observe records the command if it exceeded the threshold. key may be
 // nil; it is copied (truncated to a preview) only on the slow path.
-func (l *SlowLog) Observe(cmd string, key []byte, d time.Duration) {
+// trace links the entry to a sampled trace id (0: untraced).
+func (l *SlowLog) Observe(cmd string, key []byte, d time.Duration, trace uint64) {
 	if l == nil || int64(d) < l.thresh.Load() {
 		return
 	}
 	if len(key) > maxSlowKeyBytes {
 		key = key[:maxSlowKeyBytes]
 	}
-	e := SlowEntry{Time: time.Now(), Dur: d, Cmd: cmd, Key: string(key)}
+	e := SlowEntry{Time: time.Now(), Dur: d, Cmd: cmd, Key: string(key), Trace: trace}
 	l.mu.Lock()
 	l.next++
 	e.ID = l.next

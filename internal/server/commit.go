@@ -1,6 +1,7 @@
 package server
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -9,6 +10,14 @@ import (
 	"repro/internal/lsm"
 	"repro/internal/obs"
 )
+
+// tracedOp is one sampled command riding a write group: its trace and
+// the moment it joined the group, so the coalesce span charged to the
+// trace covers that op's own wait, not the group leader's.
+type tracedOp struct {
+	tr  *obs.Trace
+	enq time.Time
+}
 
 // pending is one group of writes awaiting a shared commit. Connections
 // hold a reference per enqueued command; sealed closes once the group's
@@ -21,6 +30,7 @@ type pending struct {
 	done   chan struct{}
 	err    error
 	start  time.Time
+	traced []tracedOp // sampled ops in the group (usually empty)
 }
 
 // committer coalesces writes from every connection into shard-split
@@ -80,8 +90,10 @@ func newCommitter(store Store, cfg Config, ob *serverObs) *committer {
 
 // enqueue adds entries to the open group (opening one if needed) and
 // returns the group to wait on. The entries must be caller-owned copies;
-// they are handed to the batch without further copying.
-func (c *committer) enqueue(entries []base.Entry) (*pending, error) {
+// they are handed to the batch without further copying. A sampled
+// command passes its trace; the group carries it through the pipeline
+// so the coalesce/epoch_wait/commit spans land on the right request.
+func (c *committer) enqueue(entries []base.Entry, tr *obs.Trace) (*pending, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -97,6 +109,9 @@ func (c *committer) enqueue(entries []base.Entry) (*pending, error) {
 	pb := c.cur
 	for _, e := range entries {
 		pb.batch.PutEntry(e)
+	}
+	if tr != nil {
+		pb.traced = append(pb.traced, tracedOp{tr: tr, enq: time.Now()})
 	}
 	if pb.batch.Len() >= c.cfg.CommitMaxOps || pb.batch.Bytes() >= c.cfg.CommitMaxBytes {
 		select {
@@ -174,6 +189,10 @@ func (c *committer) commit() {
 		detached = time.Now()
 		c.ob.stage[obs.StageCoalesce].Record(detached.Sub(pb.start))
 	}
+	for _, to := range pb.traced {
+		to.tr.SpanAt(obs.SpanCoalesce, to.enq, detached.Sub(to.enq),
+			fmt.Sprintf("group of %d ops", pb.batch.Len()))
+	}
 	cm, err := c.store.Prepare(&pb.batch)
 	if err != nil {
 		pb.err = err
@@ -189,6 +208,18 @@ func (c *committer) commit() {
 		prepared = time.Now()
 		c.ob.stage[obs.StageEpochWait].Record(prepared.Sub(detached))
 	}
+	var trs obs.Traces
+	if len(pb.traced) > 0 {
+		trs = make(obs.Traces, 0, len(pb.traced))
+		for _, to := range pb.traced {
+			trs = append(trs, to.tr)
+		}
+		trs.SpanAt(obs.SpanEpochWait, detached, prepared.Sub(detached),
+			fmt.Sprintf("epoch %d", pb.epoch))
+		// The engine records wal_append/memtable_apply into every trace
+		// riding the group while the sub-batches commit.
+		cm.Trace(trs)
+	}
 	// Bounded pipelining: the loop goes back to coalescing while up to
 	// CommitPipeline prepared groups apply concurrently. Their epochs
 	// are already ordered, so the store commits them in sealing order on
@@ -199,6 +230,9 @@ func (c *committer) commit() {
 		pb.err = cm.Commit()
 		if c.ob != nil {
 			c.ob.stage[obs.StageCommit].Record(time.Since(prepared))
+		}
+		if len(trs) > 0 {
+			trs.SpanAt(obs.SpanCommit, prepared, time.Since(prepared), "")
 		}
 		c.batches.Add(1)
 		c.ops.Add(int64(pb.batch.Len()))

@@ -7,6 +7,7 @@ import (
 	"net"
 	"os"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -33,6 +34,10 @@ type reply struct {
 	start   time.Time
 	key     []byte
 	tracked bool
+	// tr is the command's sampled trace (nil almost always). The writer
+	// records the reply_flush span into it and finishes it once the
+	// reply has left the socket buffer.
+	tr *obs.Trace
 }
 
 // conn is one client connection: a reader goroutine parses and executes
@@ -88,6 +93,10 @@ func (c *conn) serve() {
 
 func (c *conn) writeLoop() {
 	ob := c.srv.ob
+	// ftr collects sampled replies written since the last flush: the
+	// flush that actually puts their bytes on the wire is the one that
+	// ends them, so the reply_flush span and Finish happen there.
+	var ftr []*obs.Trace
 	for rep := range c.replies {
 		if rep.pb != nil {
 			<-rep.pb.done
@@ -100,7 +109,10 @@ func (c *conn) writeLoop() {
 			c.w.WriteValue(rep.v)
 		}
 		if rep.tracked {
-			ob.observe(rep.fam, rep.key, rep.start)
+			ob.observe(rep.fam, rep.key, rep.start, rep.tr)
+		}
+		if rep.tr != nil {
+			ftr = append(ftr, rep.tr)
 		}
 		// Flush when the pipeline is momentarily empty: one syscall per
 		// burst instead of one per reply.
@@ -111,7 +123,13 @@ func (c *conn) writeLoop() {
 			}
 			err := c.w.Flush()
 			if ob != nil {
-				ob.stage[obs.StageReplyFlush].Record(time.Since(fs))
+				fd := time.Since(fs)
+				ob.stage[obs.StageReplyFlush].Record(fd)
+				for _, tr := range ftr {
+					tr.SpanAt(obs.SpanReplyFlush, fs, fd, "")
+					ob.tracer.Finish(tr)
+				}
+				ftr = ftr[:0]
 			}
 			if err != nil {
 				// Client gone: closing the socket unblocks the reader;
@@ -121,10 +139,21 @@ func (c *conn) writeLoop() {
 		}
 	}
 	c.w.Flush()
+	// Leftovers (the conn died mid-burst) still reach the ring.
+	for _, tr := range ftr {
+		ob.tracer.Finish(tr)
+	}
 }
 
 func (c *conn) readLoop() {
 	for !c.quit {
+		// parseStart is taken before the blocking read so a sampled
+		// trace's decode span covers socket wait + RESP parse — the
+		// request's true server-side beginning.
+		var parseStart time.Time
+		if c.srv.ob != nil {
+			parseStart = time.Now()
+		}
 		args, err := c.r.ReadCommand()
 		if err != nil {
 			var pe *resp.ProtocolError
@@ -141,7 +170,7 @@ func (c *conn) readLoop() {
 			return
 		}
 		c.srv.commands.Add(1)
-		c.dispatch(args)
+		c.dispatch(args, parseStart)
 	}
 }
 
@@ -149,13 +178,29 @@ func (c *conn) readLoop() {
 func (c *conn) send(v resp.Value) { c.replies <- reply{v: v} }
 
 // sendTracked queues a resolved reply whose latency the writer records
-// at send time under the command's family.
-func (c *conn) sendTracked(v resp.Value, fam obs.Family, start time.Time, key []byte) {
-	c.replies <- reply{v: v, fam: fam, start: start, key: key, tracked: c.srv.ob != nil}
+// at send time under the command's family (tr: the command's sampled
+// trace, nil when unsampled).
+func (c *conn) sendTracked(v resp.Value, fam obs.Family, start time.Time, key []byte, tr *obs.Trace) {
+	c.replies <- reply{v: v, fam: fam, start: start, key: key, tracked: c.srv.ob != nil, tr: tr}
+}
+
+// trace samples a trace for the command, recording the decode span
+// (socket wait + parse, parseStart -> now). Nil when unsampled or
+// observability is off — the common case, costing one random draw.
+func (c *conn) trace(cmd string, key []byte, parseStart, now time.Time) *obs.Trace {
+	ob := c.srv.ob
+	if ob == nil {
+		return nil
+	}
+	tr := ob.tracer.Start(cmd, key, parseStart)
+	if tr != nil {
+		tr.SpanAt(obs.SpanDecode, parseStart, now.Sub(parseStart), "")
+	}
+	return tr
 }
 
 // dispatch executes one parsed command. Commands are case-insensitive.
-func (c *conn) dispatch(args [][]byte) {
+func (c *conn) dispatch(args [][]byte, parseStart time.Time) {
 	var start time.Time
 	if c.srv.ob != nil {
 		start = time.Now()
@@ -174,23 +219,26 @@ func (c *conn) dispatch(args [][]byte) {
 		if !c.wantArgs(args, 2, 2, "GET key") {
 			return
 		}
-		c.barrier()
-		c.sendTracked(c.get(args[1]), obs.FamGet, start, args[1])
+		tr := c.trace("GET", args[1], parseStart, start)
+		c.barrier(tr)
+		c.sendTracked(c.get(args[1], tr), obs.FamGet, start, args[1], tr)
 	case "MGET":
 		if !c.wantArgs(args, 2, -1, "MGET key [key ...]") {
 			return
 		}
-		c.barrier()
+		tr := c.trace("MGET", args[1], parseStart, start)
+		c.barrier(tr)
 		elems := make([]resp.Value, 0, len(args)-1)
 		for _, k := range args[1:] {
-			elems = append(elems, c.get(k))
+			elems = append(elems, c.get(k, tr))
 		}
-		c.sendTracked(resp.Array(elems...), obs.FamMGet, start, args[1])
+		c.sendTracked(resp.Array(elems...), obs.FamMGet, start, args[1], tr)
 	case "SET":
 		if !c.wantArgs(args, 3, 3, "SET key value") {
 			return
 		}
-		c.write(args[1:2], []base.Entry{{Key: args[1], Value: args[2], Kind: base.KindSet}}, resp.Simple("OK"), obs.FamSet, start)
+		tr := c.trace("SET", args[1], parseStart, start)
+		c.write(args[1:2], []base.Entry{{Key: args[1], Value: args[2], Kind: base.KindSet}}, resp.Simple("OK"), obs.FamSet, start, tr)
 	case "DEL":
 		if !c.wantArgs(args, 2, -1, "DEL key [key ...]") {
 			return
@@ -202,7 +250,8 @@ func (c *conn) dispatch(args [][]byte) {
 		// Replies with the number of tombstones written, not the redis
 		// "keys that existed" count — existence would cost a read per
 		// key on an LSM.
-		c.write(args[1:], entries, resp.Int(int64(len(entries))), obs.FamDel, start)
+		tr := c.trace("DEL", args[1], parseStart, start)
+		c.write(args[1:], entries, resp.Int(int64(len(entries))), obs.FamDel, start, tr)
 	case "MSET":
 		if len(args) < 3 || len(args)%2 != 1 {
 			c.send(resp.Error("ERR wrong number of arguments: MSET key value [key value ...]"))
@@ -214,7 +263,8 @@ func (c *conn) dispatch(args [][]byte) {
 			keys = append(keys, args[i])
 			entries = append(entries, base.Entry{Key: args[i], Value: args[i+1], Kind: base.KindSet})
 		}
-		c.write(keys, entries, resp.Simple("OK"), obs.FamMSet, start)
+		tr := c.trace("MSET", args[1], parseStart, start)
+		c.write(keys, entries, resp.Simple("OK"), obs.FamMSet, start, tr)
 	case "SCAN":
 		// Subcommand forms first: SCAN CONT <cursor> [count] resumes a
 		// server-side cursor, SCAN CLOSE <cursor> releases one. The
@@ -241,7 +291,7 @@ func (c *conn) dispatch(args [][]byte) {
 		if !c.wantArgs(args, 1, 4, "SCAN [start [limit [count]]]") {
 			return
 		}
-		c.barrier()
+		c.barrier(nil)
 		c.scan(args[1:], start)
 	case "EVENTS":
 		if !c.wantArgs(args, 1, 2, "EVENTS [count]") {
@@ -253,17 +303,22 @@ func (c *conn) dispatch(args [][]byte) {
 			return
 		}
 		c.slowlog(args[1:])
+	case "TRACE":
+		if !c.wantArgs(args, 2, 3, "TRACE [RECENT [count] | GET id]") {
+			return
+		}
+		c.traceCmd(args[1:])
 	case "STATS":
 		if !c.wantArgs(args, 1, 1, "STATS") {
 			return
 		}
-		c.barrier()
+		c.barrier(nil)
 		c.send(resp.Bulk([]byte(c.srv.statsText())))
 	case "FLUSH":
 		if !c.wantArgs(args, 1, 1, "FLUSH") {
 			return
 		}
-		c.barrier()
+		c.barrier(nil)
 		if err := c.srv.store.Flush(); err != nil {
 			c.send(resp.Error(fmtErr(err)))
 			return
@@ -288,24 +343,31 @@ func (c *conn) wantArgs(args [][]byte, minA, maxA int, usage string) bool {
 // the group's epoch: wait for the epoch to be assigned (coalesce time),
 // then for the store's commit watermark to reach it. The barrier does
 // not need the group's error — the write's own queued reply carries it.
-func (c *conn) barrier() {
+func (c *conn) barrier(tr *obs.Trace) {
 	pb := c.lastWrite
 	if pb == nil {
 		return
 	}
 	c.lastWrite = nil
+	var bs time.Time
+	if tr != nil {
+		bs = time.Now()
+	}
 	<-pb.sealed
 	if pb.epoch == 0 {
 		// Prepare failed; the group never entered the commit order.
 		<-pb.done
-		return
+	} else {
+		c.srv.store.WaitCommitted(pb.epoch)
 	}
-	c.srv.store.WaitCommitted(pb.epoch)
+	tr.Span(obs.SpanBarrier, bs, "read-your-writes wait")
 }
 
-// get executes a point read and shapes the reply.
-func (c *conn) get(key []byte) resp.Value {
-	v, err := c.srv.store.Get(key)
+// get executes a point read and shapes the reply. A sampled read passes
+// its trace down so cache-missing table reads surface as sstable_read
+// spans.
+func (c *conn) get(key []byte, tr *obs.Trace) resp.Value {
+	v, err := c.srv.store.GetTraced(key, tr)
 	switch {
 	case err == nil:
 		return resp.Bulk(v)
@@ -320,10 +382,10 @@ func (c *conn) get(key []byte) resp.Value {
 // directly when group commit is off). Keys are validated here, before
 // they can reach the shared batch: one connection's empty key must fail
 // that connection's command, not everybody's group.
-func (c *conn) write(keys [][]byte, entries []base.Entry, ok resp.Value, fam obs.Family, start time.Time) {
+func (c *conn) write(keys [][]byte, entries []base.Entry, ok resp.Value, fam obs.Family, start time.Time, tr *obs.Trace) {
 	for _, k := range keys {
 		if len(k) == 0 {
-			c.send(resp.Error("ERR empty key"))
+			c.replies <- reply{v: resp.Error("ERR empty key"), tr: tr}
 			return
 		}
 	}
@@ -336,20 +398,40 @@ func (c *conn) write(keys [][]byte, entries []base.Entry, ok resp.Value, fam obs
 		for _, e := range entries {
 			b.PutEntry(e)
 		}
-		if err := c.srv.store.Apply(&b); err != nil {
-			c.send(resp.Error(fmtErr(err)))
+		err := c.applyDirect(&b, tr)
+		if err != nil {
+			c.replies <- reply{v: resp.Error(fmtErr(err)), tr: tr}
 			return
 		}
-		c.sendTracked(ok, fam, start, key)
+		c.sendTracked(ok, fam, start, key, tr)
 		return
 	}
-	pb, err := c.srv.gc.enqueue(entries)
+	pb, err := c.srv.gc.enqueue(entries, tr)
 	if err != nil {
-		c.send(resp.Error(fmtErr(err)))
+		c.replies <- reply{v: resp.Error(fmtErr(err)), tr: tr}
 		return
 	}
 	c.lastWrite = pb
-	c.replies <- reply{pb: pb, ok: ok, fam: fam, start: start, key: key, tracked: c.srv.ob != nil}
+	c.replies <- reply{pb: pb, ok: ok, fam: fam, start: start, key: key, tracked: c.srv.ob != nil, tr: tr}
+}
+
+// applyDirect commits a batch outside the group committer (group commit
+// disabled). An unsampled write takes the store's one-call Apply; a
+// sampled one runs Prepare/Commit by hand so the trace rides the batch
+// into the engine and the commit span is recorded.
+func (c *conn) applyDirect(b *lsm.Batch, tr *obs.Trace) error {
+	if tr == nil {
+		return c.srv.store.Apply(b)
+	}
+	cm, err := c.srv.store.Prepare(b)
+	if err != nil {
+		return err
+	}
+	cm.Trace(obs.Traces{tr})
+	cs := time.Now()
+	err = cm.Commit()
+	tr.Span(obs.SpanCommit, cs, "")
+	return err
 }
 
 // scanCount parses the optional COUNT argument, capped at the server's
@@ -413,7 +495,7 @@ func (c *conn) scan(args [][]byte, start0 time.Time) {
 		return
 	}
 	v, _ := c.srv.cursors.readPage(cur, count)
-	c.sendTracked(v, obs.FamScan, start0, start)
+	c.sendTracked(v, obs.FamScan, start0, start, nil)
 }
 
 // scanCont serves SCAN CONT <cursor> [count]: the next page of a
@@ -431,7 +513,7 @@ func (c *conn) scanCont(id []byte, args [][]byte, start0 time.Time) {
 		return
 	}
 	v, _ := c.srv.cursors.readPage(cur, count)
-	c.sendTracked(v, obs.FamScan, start0, id)
+	c.sendTracked(v, obs.FamScan, start0, id, nil)
 }
 
 // scanClose serves SCAN CLOSE <cursor>: releases the cursor's iterator
@@ -502,6 +584,54 @@ func (c *conn) slowlog(args [][]byte) {
 		c.send(resp.Simple("OK"))
 	default:
 		c.send(resp.Error("ERR unknown SLOWLOG subcommand: SLOWLOG [GET [count] | LEN | RESET]"))
+	}
+}
+
+// traceCmd serves TRACE RECENT [count] (one summary line per retained
+// trace, newest first) and TRACE GET <id> (the full span breakdown for
+// one trace; ids appear in RECENT output and in slowlog entries as
+// trace=#N). With tracing off (-trace-sample 0) RECENT replies with an
+// empty array and GET with a null bulk.
+func (c *conn) traceCmd(args [][]byte) {
+	var tracer *obs.Tracer
+	if c.srv.ob != nil {
+		tracer = c.srv.ob.tracer
+	}
+	switch asciiUpper(args[0]) {
+	case "RECENT":
+		maxN := 0
+		if len(args) > 1 {
+			n, err := strconv.Atoi(string(args[1]))
+			if err != nil || n <= 0 {
+				c.send(resp.Error("ERR invalid TRACE RECENT count"))
+				return
+			}
+			maxN = n
+		}
+		trs := tracer.Recent(maxN)
+		elems := make([]resp.Value, 0, len(trs))
+		for _, tr := range trs {
+			elems = append(elems, resp.Bulk([]byte(tr.String())))
+		}
+		c.send(resp.Array(elems...))
+	case "GET":
+		if len(args) != 2 {
+			c.send(resp.Error("ERR wrong number of arguments: TRACE GET id"))
+			return
+		}
+		id, err := strconv.ParseUint(strings.TrimPrefix(string(args[1]), "#"), 10, 64)
+		if err != nil || id == 0 {
+			c.send(resp.Error("ERR invalid trace id"))
+			return
+		}
+		tr := tracer.Get(id)
+		if tr == nil {
+			c.send(resp.NullBulk())
+			return
+		}
+		c.send(resp.Bulk([]byte(tr.Render())))
+	default:
+		c.send(resp.Error("ERR unknown TRACE subcommand: TRACE [RECENT [count] | GET id]"))
 	}
 }
 

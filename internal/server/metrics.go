@@ -61,6 +61,24 @@ func (s *Server) MetricsHandler(enablePprof bool) http.Handler {
 			fmt.Fprintln(w, e)
 		}
 	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		var tracer *obs.Tracer
+		if s.ob != nil {
+			tracer = s.ob.tracer
+		}
+		maxN := 0
+		if q := r.URL.Query().Get("n"); q != "" {
+			if n, err := strconv.Atoi(q); err == nil && n > 0 {
+				maxN = n
+			}
+		}
+		fmt.Fprintf(w, "# %d traces sampled, %d finished (ring keeps the most recent; rate set by -trace-sample)\n",
+			tracer.Sampled(), tracer.Finished())
+		for _, tr := range tracer.Recent(maxN) {
+			fmt.Fprintln(w, tr.Render())
+		}
+	})
 	mux.HandleFunc("/debug/slowlog", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		var log *obs.SlowLog
@@ -128,6 +146,11 @@ func (s *Server) MetricsText() string {
 		p.Counter("triad_shard_cache_hits_total", "Block-cache lookups by this shard served from memory.", l, st.CacheHits)
 		p.Counter("triad_shard_cache_misses_total", "Block-cache lookups by this shard that went to disk.", l, st.CacheMisses)
 		p.Gauge("triad_shard_cache_resident_bytes", "Shared-cache bytes currently held by this shard's blocks.", l, st.CacheBytes)
+		for src := obs.Source(0); src < obs.NumSources; src++ {
+			p.Counter("triad_io_bytes_total",
+				"Disk bytes attributed by shard and source. user_write is WA's denominator; wal+flush+compaction_write its numerator; compaction_read is merge input, snapshot_gc zombie bytes reclaimed.",
+				fmt.Sprintf("shard=%q,source=%q", strconv.Itoa(st.Shard), src.String()), st.IO[src])
+		}
 	}
 
 	p.Gauge("triad_commit_epoch", "Store-wide commit watermark (every epoch at or below has committed).", "", int64(s.store.CommittedEpoch()))
@@ -168,11 +191,18 @@ func (s *Server) MetricsText() string {
 
 	ev := s.store.Events()
 	p.Counter("triad_events_total", "Background events (flush/compaction/snapshot-gc/stall) ever journaled.", "", int64(ev.Total()))
+	p.Counter("triad_journal_dropped_total", "Background events overwritten in the ring before any reader saw them.", "", int64(ev.Dropped()))
 	var slow *obs.SlowLog
 	if s.ob != nil {
 		slow = s.ob.slow
 	}
 	p.Counter("triad_server_slow_commands_total", "Commands that exceeded the slowlog threshold.", "", int64(slow.Total()))
+	var tracer *obs.Tracer
+	if s.ob != nil {
+		tracer = s.ob.tracer
+	}
+	p.Counter("triad_traces_sampled_total", "Commands sampled for end-to-end tracing.", "", int64(tracer.Sampled()))
+	p.Counter("triad_traces_finished_total", "Sampled traces finished and retained in the TRACE ring.", "", int64(tracer.Finished()))
 	return b.String()
 }
 

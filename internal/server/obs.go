@@ -14,9 +14,10 @@ import (
 // instrumentation point into a pointer test and skips the time.Now
 // calls — the configuration the overhead benchmark compares against.
 type serverObs struct {
-	cmd   [obs.NumFamilies]*obs.Hist
-	stage [obs.NumStages]*obs.Hist
-	slow  *obs.SlowLog
+	cmd    [obs.NumFamilies]*obs.Hist
+	stage  [obs.NumStages]*obs.Hist
+	slow   *obs.SlowLog
+	tracer *obs.Tracer // nil when Config.TraceSample is 0
 }
 
 func newServerObs(cfg Config) *serverObs {
@@ -24,6 +25,7 @@ func newServerObs(cfg Config) *serverObs {
 	if cfg.SlowlogThreshold >= 0 {
 		o.slow = obs.NewSlowLog(cfg.SlowlogSize, cfg.SlowlogThreshold)
 	}
+	o.tracer = obs.NewTracer(cfg.TraceSample, cfg.TraceKeep)
 	for f := range o.cmd {
 		o.cmd[f] = obs.NewHist()
 	}
@@ -34,14 +36,16 @@ func newServerObs(cfg Config) *serverObs {
 }
 
 // observe records one finished command: its family latency and, when it
-// crossed the threshold, a slowlog entry.
-func (o *serverObs) observe(fam obs.Family, key []byte, start time.Time) {
+// crossed the threshold, a slowlog entry carrying the command's trace
+// id when it happened to be sampled (the slowest commands thereby link
+// to their full span breakdown).
+func (o *serverObs) observe(fam obs.Family, key []byte, start time.Time, tr *obs.Trace) {
 	if o == nil {
 		return
 	}
 	d := time.Since(start)
 	o.cmd[fam].Record(d)
-	o.slow.Observe(fam.String(), key, d)
+	o.slow.Observe(fam.String(), key, d, tr.ID())
 }
 
 // cmdHist returns the family's recorder (nil when disabled), for the

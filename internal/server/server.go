@@ -47,6 +47,10 @@ import (
 // STORE metadata validation.
 type Store interface {
 	Get(key []byte) ([]byte, error)
+	// GetTraced is Get with an optional sampled trace attached (nil on
+	// the untraced path): disk reads the lookup performs are recorded as
+	// sstable_read spans.
+	GetTraced(key []byte, tr *obs.Trace) ([]byte, error)
 	Apply(b *lsm.Batch) error
 	// Prepare stages a batch in the store's commit pipeline, fixing its
 	// epoch; Commit applies it. Apply is Prepare+Commit. The group
@@ -82,6 +86,10 @@ type Store interface {
 	// ApplyLatency is the store's per-batch commit-execution recorder.
 	// May return nil (observability disabled).
 	ApplyLatency() *obs.Hist
+	// IOBySource is the store-wide I/O attribution roll-up; per-shard
+	// breakdowns ride ShardStats. All-zero when observability is
+	// disabled.
+	IOBySource() obs.LedgerSnapshot
 }
 
 var _ Store = (*shard.DB)(nil)
@@ -139,6 +147,15 @@ type Config struct {
 	SlowlogThreshold time.Duration
 	// SlowlogSize is the slowlog ring capacity. Default 128.
 	SlowlogSize int
+	// TraceSample is the fraction of commands given an end-to-end trace
+	// (spans at decode, coalesce, epoch wait, WAL append, memtable
+	// apply, commit, sstable reads, reply flush), served by TRACE and
+	// /debug/trace. 0 (the default) disables tracing; unsampled
+	// commands pay one random draw and zero allocations.
+	TraceSample float64
+	// TraceKeep is how many finished traces the server retains.
+	// Default 256.
+	TraceKeep int
 }
 
 func (c Config) withDefaults() Config {
@@ -174,6 +191,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SlowlogSize <= 0 {
 		c.SlowlogSize = 128
+	}
+	if c.TraceKeep <= 0 {
+		c.TraceKeep = 256
 	}
 	return c
 }

@@ -1,0 +1,285 @@
+package server_test
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+// parseSpanLines extracts the (offset, kind) sequence from a TRACE GET /
+// /debug/trace rendering: lines of the form "  +<offset> <kind> <dur>".
+func parseSpanLines(t *testing.T, rendered string) (offs []time.Duration, kinds []string) {
+	t.Helper()
+	for _, line := range strings.Split(rendered, "\n")[1:] {
+		f := strings.Fields(line)
+		if len(f) < 3 || !strings.HasPrefix(f[0], "+") {
+			continue
+		}
+		off, err := time.ParseDuration(strings.TrimPrefix(f[0], "+"))
+		if err != nil {
+			t.Fatalf("bad span offset %q in %q: %v", f[0], line, err)
+		}
+		offs = append(offs, off)
+		kinds = append(kinds, f[1])
+	}
+	return offs, kinds
+}
+
+// TestTraceRoundTrip drives traffic at -trace-sample 1 and checks the
+// whole surface: TRACE RECENT summaries, TRACE GET span breakdowns with
+// monotone offsets and the expected pipeline spans, and /debug/trace.
+func TestTraceRoundTrip(t *testing.T) {
+	db := newTestStore(t, 4)
+	srv, addr := startServer(t, db, server.Config{TraceSample: 1, TraceKeep: 64})
+	c := dial(t, addr)
+
+	for i := 0; i < 5; i++ {
+		k := []byte(fmt.Sprintf("trace-key-%d", i))
+		if err := c.Set(k, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := c.Get(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The writer finishes a trace just after flushing its reply, so the
+	// client can win the race to TRACE RECENT by a hair; poll briefly.
+	var recent []string
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		var err error
+		recent, err = c.TraceRecent(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recent) >= 10 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if len(recent) < 10 {
+		t.Fatalf("TRACE RECENT returned %d traces, want >= 10:\n%s", len(recent), strings.Join(recent, "\n"))
+	}
+
+	idRe := regexp.MustCompile(`^#(\d+) .* (GET|SET) "trace-key-\d+" dur=`)
+	// recent is newest first; keep the newest SET and GET so they are
+	// still inside the /debug/trace?n=5 window checked below.
+	var setID, getID uint64
+	for _, line := range recent {
+		m := idRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("unexpected TRACE RECENT line %q", line)
+		}
+		id, _ := strconv.ParseUint(m[1], 10, 64)
+		switch {
+		case m[2] == "SET" && setID == 0:
+			setID = id
+		case m[2] == "GET" && getID == 0:
+			getID = id
+		}
+	}
+	if setID == 0 || getID == 0 {
+		t.Fatalf("missing SET/GET traces in:\n%s", strings.Join(recent, "\n"))
+	}
+
+	wantSpans := func(id uint64, want ...string) string {
+		t.Helper()
+		rendered, found, err := c.TraceGet(id)
+		if err != nil || !found {
+			t.Fatalf("TRACE GET %d = found=%v err=%v", id, found, err)
+		}
+		offs, kinds := parseSpanLines(t, rendered)
+		for i := 1; i < len(offs); i++ {
+			if offs[i] < offs[i-1] {
+				t.Fatalf("trace #%d offsets not monotone: %v\n%s", id, offs, rendered)
+			}
+		}
+		have := make(map[string]bool, len(kinds))
+		for _, k := range kinds {
+			have[k] = true
+		}
+		for _, w := range want {
+			if !have[w] {
+				t.Fatalf("trace #%d missing span %q:\n%s", id, w, rendered)
+			}
+		}
+		return rendered
+	}
+
+	// A SET rides the group-commit pipeline end to end.
+	setRendered := wantSpans(setID, "decode", "coalesce", "epoch_wait",
+		"wal_append", "memtable_apply", "commit", "reply_flush")
+	// The decode span must come first in the timeline.
+	if _, kinds := parseSpanLines(t, setRendered); kinds[0] != "decode" {
+		t.Fatalf("SET trace does not start with decode:\n%s", setRendered)
+	}
+	// A GET after a write pays the read-your-writes barrier.
+	wantSpans(getID, "decode", "barrier", "reply_flush")
+
+	// Unknown id: null reply, no error.
+	if _, found, err := c.TraceGet(1 << 60); err != nil || found {
+		t.Fatalf("TRACE GET unknown = found=%v err=%v", found, err)
+	}
+	if _, err := c.Do("TRACE", []byte("BOGUS")); err == nil {
+		t.Fatal("TRACE BOGUS did not error")
+	}
+
+	// /debug/trace serves the same ring over HTTP.
+	ts := httptest.NewServer(srv.MetricsHandler(false))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/debug/trace?n=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "traces sampled") {
+		t.Fatalf("/debug/trace header missing: %q", body)
+	}
+	if !strings.Contains(string(body), fmt.Sprintf("#%d ", setID)) &&
+		!strings.Contains(string(body), fmt.Sprintf("#%d ", getID)) {
+		t.Fatalf("/debug/trace shows neither recent trace:\n%s", body)
+	}
+	if !strings.Contains(string(body), "reply_flush") {
+		t.Fatalf("/debug/trace renders no spans:\n%s", body)
+	}
+
+	// The sampled counter is on /metrics.
+	if !strings.Contains(srv.MetricsText(), "triad_traces_sampled_total") {
+		t.Fatal("triad_traces_sampled_total missing from /metrics")
+	}
+}
+
+// TestTraceDisabled: with -trace-sample 0 the surfaces answer benignly.
+func TestTraceDisabled(t *testing.T) {
+	db := newTestStore(t, 2)
+	srv, addr := startServer(t, db, server.Config{})
+	c := dial(t, addr)
+	if err := c.Set([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	recent, err := c.TraceRecent(0)
+	if err != nil || len(recent) != 0 {
+		t.Fatalf("TRACE RECENT with tracing off = %v, %v", recent, err)
+	}
+	if _, found, err := c.TraceGet(1); err != nil || found {
+		t.Fatalf("TRACE GET with tracing off = found=%v err=%v", found, err)
+	}
+	ts := httptest.NewServer(srv.MetricsHandler(false))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/debug/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "0 traces sampled") {
+		t.Fatalf("/debug/trace with tracing off: %q", body)
+	}
+}
+
+// promSeries parses one exposition dump into name{labels} -> value for
+// simple (non-histogram) series.
+func promSeries(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	out := make(map[string]float64)
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			continue
+		}
+		out[line[:i]] = v
+	}
+	return out
+}
+
+// TestMetricsLedgerConsistency is the acceptance check tying the
+// attribution ledger to the engine's own counters: after quiescing,
+// the per-shard triad_io_bytes_total series must sum exactly to the
+// store-wide byte counters WA is computed from.
+func TestMetricsLedgerConsistency(t *testing.T) {
+	db := newTestStore(t, 2)
+	srv, addr := startServer(t, db, server.Config{})
+	c := dial(t, addr)
+
+	val := []byte(strings.Repeat("v", 512))
+	for i := 0; i < 400; i++ {
+		if err := c.Set([]byte(fmt.Sprintf("ledger-%04d", i)), val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CompactAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	io := db.IOBySource()
+	m := db.Metrics()
+	if io[obs.SrcUser] != m.UserBytes {
+		t.Fatalf("ledger user_write %d != UserBytes %d", io[obs.SrcUser], m.UserBytes)
+	}
+	if io[obs.SrcWAL] != m.BytesLogged {
+		t.Fatalf("ledger wal %d != BytesLogged %d", io[obs.SrcWAL], m.BytesLogged)
+	}
+	if io[obs.SrcFlush] != m.BytesFlushed {
+		t.Fatalf("ledger flush %d != BytesFlushed %d", io[obs.SrcFlush], m.BytesFlushed)
+	}
+	if io[obs.SrcCompactionWrite] != m.BytesCompacted {
+		t.Fatalf("ledger compaction_write %d != BytesCompacted %d", io[obs.SrcCompactionWrite], m.BytesCompacted)
+	}
+	if io[obs.SrcUser] == 0 || io[obs.SrcWAL] == 0 || io[obs.SrcFlush] == 0 {
+		t.Fatalf("ledger recorded nothing: %v", io)
+	}
+
+	// The same identities must hold for the exposed series.
+	series := promSeries(t, srv.MetricsText())
+	sumSrc := func(src string) (total float64) {
+		for name, v := range series {
+			if strings.HasPrefix(name, "triad_io_bytes_total{") && strings.Contains(name, `source="`+src+`"`) {
+				total += v
+			}
+		}
+		return total
+	}
+	for _, check := range []struct {
+		src, counter string
+	}{
+		{"user_write", "triad_user_bytes_total"},
+		{"wal", "triad_bytes_logged_total"},
+		{"flush", "triad_bytes_flushed_total"},
+		{"compaction_write", "triad_bytes_compacted_total"},
+	} {
+		if got, want := sumSrc(check.src), series[check.counter]; got != want {
+			t.Fatalf("sum(triad_io_bytes_total{source=%q}) = %g, want %s = %g",
+				check.src, got, check.counter, want)
+		}
+	}
+
+	// And STATS carries the human-readable decomposition.
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stats, "WA decomposition") {
+		t.Fatalf("STATS missing the WA decomposition:\n%s", stats)
+	}
+}

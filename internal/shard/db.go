@@ -146,6 +146,11 @@ type DB struct {
 	// commit execution. Both nil when Options.DisableObservability.
 	events   *obs.Journal
 	applyLat *obs.Hist
+	// ledgers attribute each shard's disk bytes by source (user write,
+	// WAL, flush, compaction read/write, snapshot-GC). With range
+	// partitioning, shards are tenants, so this is also the per-tenant
+	// I/O bill. Nil when Options.DisableObservability.
+	ledgers []*obs.Ledger
 
 	// cache is the store-wide block cache every shard draws from (nil
 	// when caching is disabled or SplitBlockCache keeps per-shard LRUs).
@@ -188,6 +193,10 @@ func Open(o Options) (*DB, error) {
 			db.events = obs.NewJournal(0)
 		}
 		db.applyLat = obs.NewHist()
+		db.ledgers = make([]*obs.Ledger, o.Shards)
+		for i := range db.ledgers {
+			db.ledgers[i] = obs.NewLedger()
+		}
 	}
 	// Pool the per-shard cache shares into one store-wide cache (same
 	// aggregate bytes, no pre-split) unless the caller injected a cache
@@ -201,6 +210,9 @@ func Open(o Options) (*DB, error) {
 		eo.FS = fs
 		eo.Events = db.events
 		eo.EventShard = i
+		if db.ledgers != nil {
+			eo.Ledger = db.ledgers[i]
+		}
 		if db.cache != nil {
 			eo.BlockCache = db.cache
 		}
@@ -325,6 +337,13 @@ func (db *DB) Put(key, value []byte) error {
 // Get returns the value stored under key, or lsm.ErrNotFound.
 func (db *DB) Get(key []byte) ([]byte, error) { return db.pick(key).Get(key) }
 
+// GetTraced is Get with an optional sampled trace attached; the owning
+// shard records an sstable_read span for every disk read the lookup
+// pays. tr is nil on the untraced path.
+func (db *DB) GetTraced(key []byte, tr *obs.Trace) ([]byte, error) {
+	return db.pick(key).GetTraced(key, tr)
+}
+
 // Delete removes key (writing a tombstone on the owning shard).
 func (db *DB) Delete(key []byte) error {
 	b := &lsm.Batch{}
@@ -369,7 +388,13 @@ type Commit struct {
 	subs []*lsm.Batch // per shard; nil where the batch has no ops
 	tk   ticket
 	used bool
+	trs  obs.Traces // sampled traces riding this commit (usually nil)
 }
+
+// Trace attaches the group's sampled request traces; each receives the
+// engine-side wal_append / memtable_apply spans when the commit
+// executes. Call between Prepare and Commit.
+func (c *Commit) Trace(trs obs.Traces) { c.trs = trs }
 
 // Prepare stages b in the commit pipeline: validate, split into
 // per-shard sub-batches, absorb write stalls, and allocate the epoch
@@ -446,7 +471,7 @@ func (c *Commit) Commit() error {
 	case 1:
 		i := c.tk.shards[0]
 		db.clk.waitTurn(c.tk, 0)
-		err = db.shards[i].CommitAt(c.tk.epoch, c.subs[i])
+		err = db.shards[i].CommitAtTraced(c.tk.epoch, c.subs[i], c.trs)
 		db.clk.shardDone(c.tk, 0)
 	default:
 		errs := make([]error, len(c.tk.shards))
@@ -457,7 +482,7 @@ func (c *Commit) Commit() error {
 				defer wg.Done()
 				i := c.tk.shards[j]
 				db.clk.waitTurn(c.tk, j)
-				errs[j] = db.shards[i].CommitAt(c.tk.epoch, c.subs[i])
+				errs[j] = db.shards[i].CommitAtTraced(c.tk.epoch, c.subs[i], c.trs)
 				db.clk.shardDone(c.tk, j)
 			}(j)
 		}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/manifest"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sstable"
 )
 
@@ -113,6 +114,10 @@ type ShardStat struct {
 	// column shows memory following the hot shards.
 	CacheHits, CacheMisses int64
 	CacheBytes             int64
+	// IO attributes the shard's disk bytes by source (user write, WAL,
+	// flush, compaction read/write, snapshot-GC reclaim) — the per-shard
+	// WA decomposition. All-zero when observability is disabled.
+	IO obs.LedgerSnapshot
 }
 
 // ShardStats reports every shard's share of the load, in shard order.
@@ -138,6 +143,9 @@ func (db *DB) ShardStats() []ShardStat {
 			CacheHits:       cs.Hits,
 			CacheMisses:     cs.Misses,
 			CacheBytes:      cs.Resident,
+		}
+		if db.ledgers != nil {
+			st.IO = db.ledgers[i].Snapshot()
 		}
 		for _, n := range s.NumLevelFiles() {
 			st.Files += n
@@ -172,6 +180,12 @@ func (db *DB) Stats() string {
 		m.UserBytes, m.BytesLogged, m.BytesFlushed, m.BytesCompacted)
 	fmt.Fprintf(&b, "WA: %.2f (flush-relative %.2f)  RA: %.2f\n",
 		m.WriteAmplification(), m.FlushRelativeWA(), m.ReadAmplification())
+	if io := db.IOBySource(); io[obs.SrcUser] > 0 {
+		ub := float64(io[obs.SrcUser])
+		fmt.Fprintf(&b, "WA decomposition (per user byte): wal %.2f + flush %.2f + compaction %.2f  [compaction read %d B, snapshot-gc reclaimed %d B]\n",
+			float64(io[obs.SrcWAL])/ub, float64(io[obs.SrcFlush])/ub, float64(io[obs.SrcCompactionWrite])/ub,
+			io[obs.SrcCompactionRead], io[obs.SrcSnapshotGC])
+	}
 	if cs := db.BlockCacheStats(); cs.Hits+cs.Misses > 0 || cs.Capacity > 0 {
 		kind := "split per-shard"
 		if db.cache != nil {
@@ -200,6 +214,16 @@ func (db *DB) Stats() string {
 		}
 	}
 	return b.String()
+}
+
+// IOBySource reports the store-wide I/O attribution: every shard's
+// ledger summed. All-zero when observability is disabled.
+func (db *DB) IOBySource() obs.LedgerSnapshot {
+	var out obs.LedgerSnapshot
+	for _, l := range db.ledgers {
+		out.AddSnapshot(l.Snapshot())
+	}
+	return out
 }
 
 // LeakedSnapshots reports, summed across shards, how many snapshot pins

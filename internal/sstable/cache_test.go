@@ -359,11 +359,11 @@ func TestReaderServesFromCache(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer r.Close()
-	_, found, reads1, _ := r.Get([]byte("key-0100"))
+	_, found, reads1, _ := r.Get([]byte("key-0100"), nil)
 	if !found || reads1 != 1 {
 		t.Fatalf("cold Get: found=%v reads=%d", found, reads1)
 	}
-	_, found, reads2, _ := r.Get([]byte("key-0100"))
+	_, found, reads2, _ := r.Get([]byte("key-0100"), nil)
 	if !found || reads2 != 0 {
 		t.Fatalf("warm Get: found=%v reads=%d (want 0)", found, reads2)
 	}
@@ -400,7 +400,7 @@ func TestBlockChecksumDetectsCorruption(t *testing.T) {
 		return
 	}
 	defer r.Close()
-	if _, _, _, err := r.Get([]byte("key-0000")); err == nil {
+	if _, _, _, err := r.Get([]byte("key-0000"), nil); err == nil {
 		t.Fatal("read of corrupted block succeeded")
 	}
 }

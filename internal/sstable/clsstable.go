@@ -5,9 +5,11 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/base"
 	"repro/internal/hll"
+	"repro/internal/obs"
 	"repro/internal/vfs"
 	"repro/internal/wal"
 )
@@ -135,14 +137,23 @@ func (r *CLReader) Close() error {
 }
 
 // resolve fetches the real entry behind an index entry, charging disk
-// reads as it goes.
-func (r *CLReader) resolve(ie base.Entry) (base.Entry, int, error) {
+// reads as it goes. tr, when non-nil, receives the log read as an
+// sstable_read span (log records are uncached, so every resolve of a
+// live value is a device-model read).
+func (r *CLReader) resolve(ie base.Entry, tr *obs.Trace) (base.Entry, int, error) {
 	off := int64(binary.LittleEndian.Uint64(ie.Value))
 	if ie.Kind == base.KindDelete {
 		// Tombstone: no value to fetch.
 		return base.Entry{Key: ie.Key, Seq: ie.Seq, Kind: base.KindDelete}, 0, nil
 	}
-	rec, _, err := wal.ReadRecordAt(r.log, off)
+	var rs time.Time
+	if tr != nil {
+		rs = time.Now()
+	}
+	rec, n, err := wal.ReadRecordAt(r.log, off)
+	if tr != nil {
+		tr.Span(obs.SpanSSTableRead, rs, fmt.Sprintf("cl-table %06d log@%d %dB", r.idx.id, off, n))
+	}
 	if err != nil {
 		return base.Entry{}, 1, fmt.Errorf("cl-sstable %d: log offset %d: %w", r.idx.id, off, err)
 	}
@@ -155,12 +166,12 @@ func (r *CLReader) resolve(ie base.Entry) (base.Entry, int, error) {
 // Get implements Table: search the index, then read the log at the
 // recorded offset (paper: "the index is searched for the key, and, if
 // found, the CL-SSTable is accessed at the corresponding offset").
-func (r *CLReader) Get(key []byte) (base.Entry, bool, int, error) {
-	ie, found, reads, err := r.idx.Get(key)
+func (r *CLReader) Get(key []byte, tr *obs.Trace) (base.Entry, bool, int, error) {
+	ie, found, reads, err := r.idx.Get(key, tr)
 	if err != nil || !found {
 		return base.Entry{}, false, reads, err
 	}
-	e, extra, err := r.resolve(ie)
+	e, extra, err := r.resolve(ie, tr)
 	return e, err == nil, reads + extra, err
 }
 

@@ -3,10 +3,12 @@ package sstable
 import (
 	"bytes"
 	"fmt"
+	"time"
 
 	"repro/internal/base"
 	"repro/internal/bloom"
 	"repro/internal/hll"
+	"repro/internal/obs"
 	"repro/internal/vfs"
 )
 
@@ -122,7 +124,7 @@ func (r *Reader) Sketch() *hll.Sketch { return r.sketch }
 func (r *Reader) Close() error { return r.f.Close() }
 
 // Get implements Table.
-func (r *Reader) Get(key []byte) (base.Entry, bool, int, error) {
+func (r *Reader) Get(key []byte, tr *obs.Trace) (base.Entry, bool, int, error) {
 	if bytes.Compare(key, r.props.smallest) < 0 || bytes.Compare(key, r.props.largest) > 0 {
 		return base.Entry{}, false, 0, nil
 	}
@@ -133,10 +135,19 @@ func (r *Reader) Get(key []byte) (base.Entry, bool, int, error) {
 	if bi >= len(r.index) {
 		return base.Entry{}, false, 0, nil
 	}
+	var rs time.Time
+	if tr != nil {
+		rs = time.Now()
+	}
 	blk, cached, err := r.block(r.index[bi].handle)
 	reads := 1
 	if cached {
 		reads = 0
+	}
+	if tr != nil && !cached {
+		// The block came off the device model, not the cache: this is
+		// the disk time a traced read actually paid.
+		tr.Span(obs.SpanSSTableRead, rs, fmt.Sprintf("table %06d block@%d %dB", r.id, r.index[bi].handle.offset, len(blk)))
 	}
 	if err != nil {
 		return base.Entry{}, false, reads, err

@@ -50,7 +50,7 @@ func TestWriteReadRoundTrip(t *testing.T) {
 	}
 	for _, i := range []int{0, 1, 499, 500, 998, 999} {
 		key := []byte(fmt.Sprintf("key-%05d", i))
-		e, found, reads, err := r.Get(key)
+		e, found, reads, err := r.Get(key, nil)
 		if err != nil || !found {
 			t.Fatalf("Get(%s) = found=%v err=%v", key, found, err)
 		}
@@ -68,11 +68,11 @@ func TestGetAbsent(t *testing.T) {
 	r := buildTable(t, fs, 1, 100)
 	defer r.Close()
 	// Out of range: zero disk reads.
-	_, found, reads, _ := r.Get([]byte("aaa"))
+	_, found, reads, _ := r.Get([]byte("aaa"), nil)
 	if found || reads != 0 {
 		t.Fatalf("below-range Get: found=%v reads=%d", found, reads)
 	}
-	_, found, reads, _ = r.Get([]byte("zzz"))
+	_, found, reads, _ = r.Get([]byte("zzz"), nil)
 	if found || reads != 0 {
 		t.Fatalf("above-range Get: found=%v reads=%d", found, reads)
 	}
@@ -80,7 +80,7 @@ func TestGetAbsent(t *testing.T) {
 	// reads); occasionally a false positive costs 1. Never found.
 	fpReads := 0
 	for i := 0; i < 1000; i++ {
-		_, found, reads, err := r.Get([]byte(fmt.Sprintf("key-%05d-x", i)))
+		_, found, reads, err := r.Get([]byte(fmt.Sprintf("key-%05d-x", i)), nil)
 		if err != nil || found {
 			t.Fatalf("absent Get: found=%v err=%v", found, err)
 		}
@@ -167,7 +167,7 @@ func TestTombstonesRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer r.Close()
-	e, found, _, err := r.Get([]byte("dead"))
+	e, found, _, err := r.Get([]byte("dead"), nil)
 	if err != nil || !found || e.Kind != base.KindDelete || e.Value != nil {
 		t.Fatalf("tombstone Get = %+v found=%v err=%v", e, found, err)
 	}
@@ -273,7 +273,7 @@ func TestCLSSTableGet(t *testing.T) {
 	if r.LogID() != 5 {
 		t.Fatalf("LogID = %d", r.LogID())
 	}
-	e, found, reads, err := r.Get([]byte("key-00007"))
+	e, found, reads, err := r.Get([]byte("key-00007"), nil)
 	if err != nil || !found {
 		t.Fatalf("Get: found=%v err=%v", found, err)
 	}
@@ -284,14 +284,14 @@ func TestCLSSTableGet(t *testing.T) {
 		t.Fatalf("disk reads = %d, want 2", reads)
 	}
 	// Deleted key resolves to a tombstone without touching the log.
-	e, found, reads, err = r.Get([]byte("key-00010"))
+	e, found, reads, err = r.Get([]byte("key-00010"), nil)
 	if err != nil || !found || e.Kind != base.KindDelete {
 		t.Fatalf("tombstone Get = %+v found=%v err=%v", e, found, err)
 	}
 	if reads != 1 {
 		t.Fatalf("tombstone disk reads = %d, want 1 (no log access)", reads)
 	}
-	if _, found, _, _ := r.Get([]byte("nope")); found {
+	if _, found, _, _ := r.Get([]byte("nope"), nil); found {
 		t.Fatal("absent key found")
 	}
 }
@@ -421,7 +421,7 @@ func TestQuickTableRoundTrip(t *testing.T) {
 		}
 		defer r.Close()
 		for i := 0; i < count; i++ {
-			e, found, _, err := r.Get([]byte(fmt.Sprintf("%06d", i)))
+			e, found, _, err := r.Get([]byte(fmt.Sprintf("%06d", i)), nil)
 			if err != nil || !found || len(e.Value) != int(valSize) {
 				return false
 			}
@@ -440,7 +440,7 @@ func BenchmarkTableGet(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		key := []byte(fmt.Sprintf("key-%05d", i%10000))
-		r.Get(key)
+		r.Get(key, nil)
 	}
 }
 
@@ -451,6 +451,6 @@ func BenchmarkCLTableGet(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		key := []byte(fmt.Sprintf("key-%05d", i%10000))
-		r.Get(key)
+		r.Get(key, nil)
 	}
 }

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/base"
 	"repro/internal/hll"
+	"repro/internal/obs"
 )
 
 // Table is a read-only sorted table of versioned entries.
@@ -26,8 +27,10 @@ type Table interface {
 	ID() uint64
 	// Get returns the entry for key if present. diskReads reports how
 	// many distinct disk reads the lookup performed (0 when the Bloom
-	// filter excluded the key), which feeds read amplification.
-	Get(key []byte) (e base.Entry, found bool, diskReads int, err error)
+	// filter excluded the key), which feeds read amplification. tr, when
+	// non-nil, receives an sstable_read span per disk read (the usual
+	// caller passes nil).
+	Get(key []byte, tr *obs.Trace) (e base.Entry, found bool, diskReads int, err error)
 	// NewIterator iterates all entries in ascending key order.
 	NewIterator() (Iterator, error)
 	// Smallest and Largest bound the key range (inclusive).
