@@ -1,0 +1,88 @@
+// Command triadlint runs TRIAD's own static-analysis suite — the
+// custom invariant checks in internal/lint — over a package pattern,
+// printing findings in file:line:col form and exiting non-zero when
+// there are any. It is the machine check for the conventions the
+// store's correctness rests on: epoch-ticket lifetimes, snapshot/
+// iterator/cache-handle closing, obs nil-receiver safety, atomic field
+// access discipline, and metric naming.
+//
+// Usage:
+//
+//	triadlint [-only a,b] [packages]     (default ./...)
+//	triadlint -list
+//
+// The driver is standalone rather than a `go vet -vettool` plugin
+// because the vet protocol lives in golang.org/x/tools and this
+// repository deliberately carries no module dependencies; the analyzer
+// shapes mirror go/analysis so they could be rehosted if that changes.
+// Test files are analyzed too: the invariants hold in tests as much as
+// in the server (a leaked epoch ticket stalls a test store just the
+// same).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("triadlint", flag.ExitOnError)
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	fs.Parse(args)
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		keep := map[string]bool{}
+		for _, name := range strings.Split(*only, ",") {
+			keep[strings.TrimSpace(name)] = true
+		}
+		var sel []*lint.Analyzer
+		for _, a := range analyzers {
+			if keep[a.Name] {
+				sel = append(sel, a)
+				delete(keep, a.Name)
+			}
+		}
+		for name := range keep {
+			fmt.Fprintf(stderr, "triadlint: unknown analyzer %q (see -list)\n", name)
+			return 2
+		}
+		analyzers = sel
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader := lint.NewLoader(".")
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "triadlint: %v\n", err)
+		return 2
+	}
+	diags := lint.Run(pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Fprintf(stdout, "%s\n", d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "triadlint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,207 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicField enforces the memory-model discipline around sync/atomic:
+//
+//  1. a struct field passed to a sync/atomic function (`&x.f` in
+//     atomic.LoadInt64(&x.f), atomic.AddUint64(&x.f, 1), ...)
+//     anywhere in the package must be accessed through sync/atomic
+//     everywhere — one plain read racing an atomic write is an
+//     undiagnosed data race that `-race` only catches if a torture
+//     test happens to interleave it;
+//  2. a raw 64-bit field used with sync/atomic must sit at an 8-byte
+//     aligned offset under 32-bit struct layout rules, where the Go
+//     runtime only guarantees alignment for the first word of an
+//     allocation (the atomic.Int64 wrapper types embed an alignment
+//     pad and are always safe — prefer them).
+//
+// The check is per-package, which matches Go's visibility rules: an
+// unexported field cannot be touched from outside its package, and the
+// repository's convention is that atomics are never exported.
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "fields accessed via sync/atomic must be accessed atomically everywhere and 64-bit ones must be alignment-safe",
+	Run:  runAtomicField,
+}
+
+// atomicFns maps sync/atomic function names to the indexes of their
+// pointer arguments (always 0 for the value-typed API).
+var atomicFns = map[string]bool{
+	"AddInt32": true, "AddInt64": true, "AddUint32": true, "AddUint64": true, "AddUintptr": true,
+	"CompareAndSwapInt32": true, "CompareAndSwapInt64": true, "CompareAndSwapUint32": true,
+	"CompareAndSwapUint64": true, "CompareAndSwapUintptr": true, "CompareAndSwapPointer": true,
+	"LoadInt32": true, "LoadInt64": true, "LoadUint32": true, "LoadUint64": true,
+	"LoadUintptr": true, "LoadPointer": true,
+	"StoreInt32": true, "StoreInt64": true, "StoreUint32": true, "StoreUint64": true,
+	"StoreUintptr": true, "StorePointer": true,
+	"SwapInt32": true, "SwapInt64": true, "SwapUint32": true, "SwapUint64": true,
+	"SwapUintptr": true, "SwapPointer": true,
+	"AndInt32": true, "AndInt64": true, "AndUint32": true, "AndUint64": true, "AndUintptr": true,
+	"OrInt32": true, "OrInt64": true, "OrUint32": true, "OrUint64": true, "OrUintptr": true,
+}
+
+func runAtomicField(pass *Pass) {
+	// Pass 1: collect fields used atomically, and remember the exact
+	// selector nodes inside atomic calls (they are the allowed uses).
+	atomicFields := make(map[*types.Var]ast.Node) // field -> example atomic use
+	allowed := make(map[*ast.SelectorExpr]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || !atomicFns[fn.Sel.Name] {
+				return true
+			}
+			if pkg, ok := ast.Unparen(fn.X).(*ast.Ident); !ok || !isSyncAtomic(pass, pkg) {
+				return true
+			}
+			if len(call.Args) == 0 {
+				return true
+			}
+			ue, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(ue.X).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if fv := fieldOf(pass, sel); fv != nil {
+				if _, seen := atomicFields[fv]; !seen {
+					atomicFields[fv] = call
+				}
+				allowed[sel] = true
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return
+	}
+
+	// Pass 2: every other access to those fields is a finding.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || allowed[sel] {
+				return true
+			}
+			fv := fieldOf(pass, sel)
+			if fv == nil {
+				return true
+			}
+			if first, ok := atomicFields[fv]; ok {
+				pass.Reportf(sel.Sel.Pos(),
+					"field %s is accessed with sync/atomic (e.g. at %s) and must not be accessed plainly; use the atomic API or an atomic.%s",
+					fv.Name(), pass.Fset.Position(first.Pos()), wrapperFor(fv.Type()))
+				return true
+			}
+			return true
+		})
+	}
+
+	// Pass 3: 64-bit atomic fields must be 8-byte aligned under 32-bit
+	// layout rules.
+	sizes := types.SizesFor("gc", "386")
+	for fv := range atomicFields {
+		if !is64Bit(fv.Type()) {
+			continue
+		}
+		owner, index := findOwnerStruct(pass, fv)
+		if owner == nil {
+			continue
+		}
+		fields := make([]*types.Var, owner.NumFields())
+		for i := range fields {
+			fields[i] = owner.Field(i)
+		}
+		offsets := sizes.Offsetsof(fields)
+		if offsets[index]%8 != 0 {
+			pass.Reportf(fv.Pos(),
+				"64-bit atomic field %s is at offset %d under 32-bit alignment; move it to an 8-byte aligned position or use atomic.%s",
+				fv.Name(), offsets[index], wrapperFor(fv.Type()))
+		}
+	}
+}
+
+func isSyncAtomic(pass *Pass, id *ast.Ident) bool {
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return false
+	}
+	return pn.Imported().Path() == "sync/atomic"
+}
+
+// fieldOf resolves a selector to the struct field it denotes, or nil.
+func fieldOf(pass *Pass, sel *ast.SelectorExpr) *types.Var {
+	s := pass.TypesInfo.Selections[sel]
+	if s == nil || s.Kind() != types.FieldVal {
+		return nil
+	}
+	obj := s.Obj()
+	if v, ok := obj.(*types.Var); ok && v.IsField() {
+		return v
+	}
+	return nil
+}
+
+func is64Bit(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	switch b.Kind() {
+	case types.Int64, types.Uint64:
+		return true
+	}
+	return false
+}
+
+func wrapperFor(t types.Type) string {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return "Value"
+	}
+	switch b.Kind() {
+	case types.Int32:
+		return "Int32"
+	case types.Int64:
+		return "Int64"
+	case types.Uint32:
+		return "Uint32"
+	case types.Uint64:
+		return "Uint64"
+	case types.Uintptr:
+		return "Uintptr"
+	}
+	return "Value"
+}
+
+// findOwnerStruct locates the struct type declaring the field and the
+// field's index within it, searching the package's named types.
+func findOwnerStruct(pass *Pass, fv *types.Var) (*types.Struct, int) {
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := range st.NumFields() {
+			if st.Field(i) == fv {
+				return st, i
+			}
+		}
+	}
+	return nil, -1
+}

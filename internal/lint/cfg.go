@@ -1,0 +1,274 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// cfgNode is one statement (or synthetic join/exit point) in a
+// function's control-flow graph. Control statements are decomposed:
+// an *ast.IfStmt's node represents only its init+condition, with the
+// branch entries recorded so path searches can prune by condition; a
+// loop's node is its guard.
+type cfgNode struct {
+	stmt   ast.Stmt // nil for the synthetic exit
+	succs  []*cfgNode
+	isExit bool
+
+	// For *ast.IfStmt nodes: where the true and false edges enter.
+	// Both also appear in succs.
+	thenEntry, elseEntry *cfgNode
+}
+
+// cfg is the control-flow graph of one function body.
+type cfg struct {
+	entry *cfgNode
+	exit  *cfgNode
+	// nodes maps each statement to its node. Statements nested inside
+	// a node's expression position (e.g. an if's Init assignment) map
+	// to the enclosing control node.
+	nodes map[ast.Stmt]*cfgNode
+	// ok is false when the body uses constructs the builder does not
+	// model (goto); analyses should then skip the function rather
+	// than report unsoundly.
+	ok bool
+}
+
+type cfgBuilder struct {
+	g      *cfg
+	labels map[string]*labelTargets
+	bad    bool
+}
+
+type labelTargets struct {
+	breakTo    *cfgNode
+	continueTo *cfgNode
+}
+
+// buildCFG constructs the graph for a function body. The second
+// result is false when the body is unmodellable (contains goto).
+func buildCFG(body *ast.BlockStmt) *cfg {
+	b := &cfgBuilder{
+		g: &cfg{
+			exit:  &cfgNode{isExit: true},
+			nodes: make(map[ast.Stmt]*cfgNode),
+		},
+		labels: make(map[string]*labelTargets),
+	}
+	b.g.entry = b.stmts(body.List, b.g.exit, nil, nil)
+	b.g.ok = !b.bad
+	return b.g
+}
+
+// node allocates the node for stmt.
+func (b *cfgBuilder) node(stmt ast.Stmt) *cfgNode {
+	n := &cfgNode{stmt: stmt}
+	b.g.nodes[stmt] = n
+	return n
+}
+
+// stmts wires a statement list so that falling off the end reaches
+// next; breakTo/continueTo are the innermost loop (or switch) targets.
+func (b *cfgBuilder) stmts(list []ast.Stmt, next, breakTo, continueTo *cfgNode) *cfgNode {
+	// Build back to front so each statement knows its successor.
+	for i := len(list) - 1; i >= 0; i-- {
+		next = b.stmt(list[i], next, breakTo, continueTo, "")
+	}
+	return next
+}
+
+// stmt builds the subgraph for one statement and returns its entry
+// node. label is the statement's label when it was wrapped in an
+// *ast.LabeledStmt.
+func (b *cfgBuilder) stmt(s ast.Stmt, next, breakTo, continueTo *cfgNode, label string) *cfgNode {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmts(s.List, next, breakTo, continueTo)
+
+	case *ast.LabeledStmt:
+		// Register targets before building the body so labeled
+		// break/continue inside it resolve. continueTo is patched by
+		// the loop cases below via the shared labelTargets.
+		lt := &labelTargets{breakTo: next}
+		b.labels[s.Label.Name] = lt
+		return b.stmt(s.Stmt, next, breakTo, continueTo, s.Label.Name)
+
+	case *ast.IfStmt:
+		n := b.node(s)
+		elseEntry := next
+		if s.Else != nil {
+			elseEntry = b.stmt(s.Else, next, breakTo, continueTo, "")
+		}
+		thenEntry := b.stmts(s.Body.List, next, breakTo, continueTo)
+		n.thenEntry, n.elseEntry = thenEntry, elseEntry
+		n.succs = []*cfgNode{thenEntry, elseEntry}
+		return n
+
+	case *ast.ForStmt:
+		guard := b.node(s)
+		if label != "" {
+			b.labels[label].continueTo = guard
+		}
+		post := guard
+		if s.Post != nil {
+			post = b.stmt(s.Post, guard, nil, nil, "")
+		}
+		if label != "" {
+			// Labeled continue re-runs the post statement.
+			b.labels[label].continueTo = post
+		}
+		body := b.stmts(s.Body.List, post, next, post)
+		guard.succs = append(guard.succs, body)
+		if s.Cond != nil {
+			guard.succs = append(guard.succs, next)
+		}
+		entry := guard
+		if s.Init != nil {
+			entry = b.stmt(s.Init, guard, nil, nil, "")
+		}
+		return entry
+
+	case *ast.RangeStmt:
+		guard := b.node(s)
+		if label != "" {
+			b.labels[label].continueTo = guard
+		}
+		body := b.stmts(s.Body.List, guard, next, guard)
+		guard.succs = []*cfgNode{body, next}
+		return guard
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		n := b.node(s)
+		var clauses []ast.Stmt
+		switch s := s.(type) {
+		case *ast.SwitchStmt:
+			clauses = s.Body.List
+		case *ast.TypeSwitchStmt:
+			clauses = s.Body.List
+		}
+		hasDefault := false
+		// Build cases back to front so fallthrough can target the
+		// following case's body.
+		entries := make([]*cfgNode, len(clauses))
+		following := next
+		for i := len(clauses) - 1; i >= 0; i-- {
+			cc := clauses[i].(*ast.CaseClause)
+			if cc.List == nil {
+				hasDefault = true
+			}
+			entries[i] = b.caseBody(cc, next, following, continueTo)
+			following = entries[i]
+		}
+		n.succs = append(n.succs, entries...)
+		if !hasDefault {
+			n.succs = append(n.succs, next)
+		}
+		if label != "" {
+			b.labels[label].breakTo = next
+		}
+		return n
+
+	case *ast.SelectStmt:
+		n := b.node(s)
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			entry := b.stmts(cc.Body, next, next, continueTo)
+			if cc.Comm != nil {
+				entry = b.stmt(cc.Comm, entry, nil, nil, "")
+			}
+			n.succs = append(n.succs, entry)
+		}
+		// A select{} with no cases blocks forever: no successors.
+		return n
+
+	case *ast.ReturnStmt:
+		n := b.node(s)
+		n.succs = []*cfgNode{b.g.exit}
+		return n
+
+	case *ast.BranchStmt:
+		n := b.node(s)
+		switch s.Tok {
+		case token.BREAK:
+			target := breakTo
+			if s.Label != nil {
+				if lt := b.labels[s.Label.Name]; lt != nil {
+					target = lt.breakTo
+				}
+			}
+			if target != nil {
+				n.succs = []*cfgNode{target}
+			}
+		case token.CONTINUE:
+			target := continueTo
+			if s.Label != nil {
+				if lt := b.labels[s.Label.Name]; lt != nil {
+					target = lt.continueTo
+				}
+			}
+			if target != nil {
+				n.succs = []*cfgNode{target}
+			}
+		case token.FALLTHROUGH:
+			// Normally rewired by caseBody; as a bare statement fall
+			// through to the recorded next.
+			n.succs = []*cfgNode{next}
+		case token.GOTO:
+			b.bad = true
+		}
+		return n
+
+	default:
+		// Simple statements: assignments, declarations, expressions,
+		// defer, go, send, inc/dec, empty.
+		n := b.node(s)
+		if terminates(s) {
+			return n // no successors: panic/os.Exit-style dead end
+		}
+		n.succs = []*cfgNode{next}
+		return n
+	}
+}
+
+// caseBody wires one case clause body: break exits the switch, a
+// trailing fallthrough jumps to the entry of the following case.
+func (b *cfgBuilder) caseBody(cc *ast.CaseClause, next, following, continueTo *cfgNode) *cfgNode {
+	list := cc.Body
+	if n := len(list); n > 0 {
+		if br, ok := list[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+			tail := &cfgNode{stmt: br, succs: []*cfgNode{following}}
+			b.g.nodes[br] = tail
+			list = list[:n-1]
+			for i := len(list) - 1; i >= 0; i-- {
+				tail = b.stmt(list[i], tail, next, continueTo, "")
+			}
+			return tail
+		}
+	}
+	return b.stmts(list, next, next, continueTo)
+}
+
+// terminates reports whether a simple statement is a call that never
+// returns: panic, os.Exit, log.Fatal*, runtime.Goexit, or a
+// testing.T/B Fatal/Fatalf/FailNow/Skip* call. Purely syntactic — it
+// exists so analyses do not flag cleanup-free crash paths.
+func terminates(s ast.Stmt) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fn.Name == "panic"
+	case *ast.SelectorExpr:
+		switch fn.Sel.Name {
+		case "Exit", "Goexit", "Fatal", "Fatalf", "Fatalln", "FailNow", "Skip", "Skipf", "SkipNow":
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,49 @@
+// Package lint is TRIAD's own static-analysis suite: a set of
+// analyzers that machine-check invariants the store's correctness
+// rests on but the compiler cannot see. Each analyzer encodes one
+// hand-enforced convention that has bitten (or would bite) at runtime:
+//
+//   - ticketleak: every epoch ticket (*shard.Commit) returned by
+//     Prepare must reach Commit() or Abort() on all control-flow
+//     paths. A leaked ticket parks the committed watermark forever —
+//     every later write and snapshot queued behind it stalls.
+//   - mustclose: snapshots, iterators and block-cache handles pin real
+//     resources (memtable overlays, zombie sstables, cache bytes);
+//     each constructor result must be closed/released on all paths or
+//     handed to a tracked owner.
+//   - nilsafeobs: the observability layer compiles down to pointer
+//     tests when disabled, which only works if every exported method
+//     on obs.Hist/Tracer/Trace/Journal/SlowLog/Ledger guards the nil
+//     receiver before touching a field — and nothing outside
+//     internal/obs touches those fields at all.
+//   - atomicfield: a struct field accessed through sync/atomic
+//     anywhere must be accessed atomically everywhere, and raw 64-bit
+//     atomic fields must sit at 8-byte-aligned offsets on 32-bit
+//     targets.
+//   - metricname: metric names handed to the obs.Prom emission
+//     methods must be compile-time constants in triad_* snake_case
+//     with the conventional unit suffixes, so a new series cannot
+//     dodge the promlint exposition test.
+//
+// The suite is built directly on go/ast and go/types (the repository
+// is deliberately dependency-free, so golang.org/x/tools/go/analysis
+// is re-modeled here in miniature: see framework.go and loader.go).
+// cmd/triadlint is the driver; `triadlint ./...` runs every analyzer
+// over the tree, including test files, and exits non-zero on findings.
+//
+// Adding an analyzer: write a file defining an *Analyzer with a Run
+// over a *Pass, append it in Analyzers, add a testdata/src/<name> tree
+// with // want annotations, and a <name>_test.go calling runTest.
+package lint
+
+// Analyzers returns the full suite in stable order. Both cmd/triadlint
+// and the in-repo self-check test run exactly this set.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		TicketLeak,
+		MustClose,
+		NilSafeObs,
+		AtomicField,
+		MetricName,
+	}
+}

@@ -1,0 +1,274 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sync"
+)
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	Path      string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader needs.
+type listPkg struct {
+	ImportPath   string
+	Dir          string
+	Name         string
+	Standard     bool
+	DepOnly      bool
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Imports      []string
+	TestImports  []string
+	XTestImports []string
+	ImportMap    map[string]string
+	Error        *struct{ Err string }
+}
+
+// Loader type-checks packages from source using only the standard
+// library: `go list -json` supplies file sets and the import graph,
+// go/parser + go/types do the rest. It exists because the repository
+// carries no module dependencies, so golang.org/x/tools/go/packages is
+// not available; everything triadlint needs — full type information
+// for the tree, its test files, and the stdlib closure — is
+// reconstructible from the toolchain that is already required to build
+// the repo.
+//
+// A Loader caches every package it checks, so repeated Load calls
+// (e.g. the analysistest harness loading stdlib stubs per test) pay
+// for each import path once per process.
+type Loader struct {
+	// Dir is the directory go list runs in; it must be inside the
+	// module. "." works anywhere in the repo.
+	Dir string
+
+	mu      sync.Mutex
+	fset    *token.FileSet
+	listed  map[string]*listPkg
+	checked map[string]*types.Package
+	plain   map[string]*Package
+	sizes   types.Sizes
+}
+
+// NewLoader returns a loader rooted at dir.
+func NewLoader(dir string) *Loader {
+	sizes := types.SizesFor("gc", runtime.GOARCH)
+	if sizes == nil {
+		sizes = types.SizesFor("gc", "amd64")
+	}
+	return &Loader{
+		Dir:     dir,
+		fset:    token.NewFileSet(),
+		listed:  make(map[string]*listPkg),
+		checked: make(map[string]*types.Package),
+		plain:   make(map[string]*Package),
+		sizes:   sizes,
+	}
+}
+
+// Load lists the packages matching patterns and type-checks them along
+// with their full dependency closure, returning an analysis-ready
+// Package per match. In-package test files are checked as part of
+// their package (legal Go guarantees this cannot introduce an import
+// cycle) and external _test packages are returned as their own
+// entries, so the analyzers see the whole tree the race suite runs.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+
+	targets, err := l.list(patterns)
+	if err != nil {
+		return nil, err
+	}
+	// Test-only imports are outside the -deps closure; list them too.
+	var extra []string
+	for _, p := range targets {
+		if p.DepOnly || p.Standard {
+			continue
+		}
+		for _, imp := range append(append([]string{}, p.TestImports...), p.XTestImports...) {
+			if _, ok := l.listed[imp]; !ok && imp != "C" {
+				extra = append(extra, imp)
+			}
+		}
+	}
+	if len(extra) > 0 {
+		if _, err := l.list(extra); err != nil {
+			return nil, err
+		}
+	}
+
+	// Establish the canonical dependency universe first: every package
+	// checked from its non-test files only, in dependency order, so
+	// each import path has exactly one types.Package identity.
+	for _, p := range targets {
+		if p.Name == "" || p.ImportPath == "unsafe" {
+			continue
+		}
+		if _, err := l.typePkg(p.ImportPath); err != nil {
+			return nil, err
+		}
+	}
+
+	// Then build the analysis view of each matched package: augmented
+	// in place with its in-package test files (legal Go guarantees
+	// that cannot introduce an import cycle), plus any external _test
+	// package as its own entry. Augmented checks are never cached, so
+	// importers keep resolving to the canonical plain packages above.
+	var out []*Package
+	for _, p := range targets {
+		if p.DepOnly || p.Standard || p.Name == "" {
+			continue
+		}
+		pkg := l.plain[p.ImportPath]
+		if len(p.TestGoFiles) > 0 {
+			files := append(append([]string{}, p.GoFiles...), p.TestGoFiles...)
+			pkg, err = l.check(p, p.ImportPath, files, false)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if pkg != nil {
+			out = append(out, pkg)
+		}
+		if len(p.XTestGoFiles) > 0 {
+			xpkg, err := l.check(p, p.ImportPath+"_test", p.XTestGoFiles, false)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, xpkg)
+		}
+	}
+	return out, nil
+}
+
+// list runs go list -deps -json over args, merging results into
+// l.listed and returning the packages in dependency-first order.
+func (l *Loader) list(args []string) ([]*listPkg, error) {
+	cmd := exec.Command("go", append([]string{"list", "-deps", "-json=ImportPath,Dir,Name,Standard,DepOnly,GoFiles,TestGoFiles,XTestGoFiles,Imports,TestImports,XTestImports,ImportMap,Error"}, args...)...)
+	cmd.Dir = l.Dir
+	// Cgo off: every package the checker sees must be pure Go source,
+	// and the stdlib has pure-Go fallbacks for everything we reach.
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", args, err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var pkgs []*listPkg
+	for {
+		p := new(listPkg)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if _, ok := l.listed[p.ImportPath]; !ok {
+			l.listed[p.ImportPath] = p
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// typePkg returns the checked types.Package for an import path,
+// checking it (and transitively its imports) on first use.
+func (l *Loader) typePkg(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := l.checked[path]; ok {
+		return p, nil
+	}
+	meta, ok := l.listed[path]
+	if !ok {
+		// A dependency surfaced that earlier list calls did not cover
+		// (e.g. a test-only import's own deps): list its closure now.
+		if _, err := l.list([]string{path}); err != nil {
+			return nil, err
+		}
+		meta, ok = l.listed[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: package %q not found by go list", path)
+		}
+	}
+	pkg, err := l.check(meta, path, meta.GoFiles, true)
+	if err != nil {
+		return nil, err
+	}
+	return pkg.Types, nil
+}
+
+// check parses and type-checks one package (the given files out of
+// meta.Dir, named by key); cache records it as the canonical package
+// for the import path, which must happen exactly for the plain
+// (non-test-augmented) build.
+func (l *Loader) check(meta *listPkg, key string, files []string, cache bool) (*Package, error) {
+	var asts []*ast.File
+	for _, name := range files {
+		full := filepath.Join(meta.Dir, name)
+		f, err := parser.ParseFile(l.fset, full, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse %s: %v", full, err)
+		}
+		asts = append(asts, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{
+		Importer: &mapImporter{l: l, meta: meta},
+		Sizes:    l.sizes,
+	}
+	tpkg, err := conf.Check(key, l.fset, asts, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-check %s: %v", key, err)
+	}
+	pkg := &Package{Path: key, Fset: l.fset, Files: asts, Types: tpkg, TypesInfo: info}
+	if cache {
+		l.checked[key] = tpkg
+		l.plain[key] = pkg
+	}
+	return pkg, nil
+}
+
+// mapImporter resolves the current package's imports through its
+// go-list ImportMap (vendored stdlib) and the loader cache.
+type mapImporter struct {
+	l    *Loader
+	meta *listPkg
+}
+
+func (m *mapImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := m.meta.ImportMap[path]; ok {
+		path = mapped
+	}
+	return m.l.typePkg(path)
+}

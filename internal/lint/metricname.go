@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"regexp"
+	"strings"
+)
+
+// MetricName vets the metric names handed to the obs.Prom emission
+// methods (Counter, Gauge, GaugeF, Histogram) at compile time, so a
+// new series cannot dodge the runtime promlint exposition test by
+// simply never being scraped in CI:
+//
+//   - names must be compile-time constants (a dynamic name is
+//     unvettable and invites label-cardinality accidents);
+//   - names must be triad_* snake_case: [a-z0-9] runs separated by
+//     single underscores;
+//   - counters must end in _total; gauges and histograms must not;
+//   - histograms must carry a base-unit suffix (_seconds or _bytes);
+//   - the histogram expansion suffixes _bucket/_sum/_count are
+//     reserved, and abbreviated or non-base units (_ms, _secs, _kb,
+//     ...) are rejected in favor of _seconds/_bytes.
+var MetricName = &Analyzer{
+	Name: "metricname",
+	Doc:  "metric names at obs.Prom emission sites must be constant triad_* snake_case with conventional unit suffixes",
+	Run:  runMetricName,
+}
+
+var promMethods = map[string]bool{
+	"Counter": true, "Gauge": true, "GaugeF": true, "Histogram": true,
+}
+
+var metricNameRE = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)*$`)
+
+// badUnitSuffixes maps rejected suffixes to the base unit to use.
+var badUnitSuffixes = map[string]string{
+	"_ms": "_seconds", "_millis": "_seconds", "_milliseconds": "_seconds",
+	"_us": "_seconds", "_micros": "_seconds", "_microseconds": "_seconds",
+	"_ns": "_seconds", "_nanos": "_seconds", "_nanoseconds": "_seconds",
+	"_sec": "_seconds", "_secs": "_seconds",
+	"_kb": "_bytes", "_mb": "_bytes", "_gb": "_bytes",
+	"_kib": "_bytes", "_mib": "_bytes", "_gib": "_bytes",
+	"_byte": "_bytes",
+}
+
+func runMetricName(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || !promMethods[sel.Sel.Name] {
+				return true
+			}
+			recv := pass.TypesInfo.Types[sel.X]
+			if !isNamedType(recv.Type, "internal/obs", "Prom") {
+				return true
+			}
+			if len(call.Args) == 0 {
+				return true
+			}
+			arg := call.Args[0]
+			tv := pass.TypesInfo.Types[arg]
+			if tv.Value == nil || tv.Value.Kind() != constant.String {
+				pass.Reportf(arg.Pos(),
+					"metric name passed to Prom.%s is not a compile-time constant; constant names are what let triadlint and promlint vet the series", sel.Sel.Name)
+				return true
+			}
+			name := constant.StringVal(tv.Value)
+			checkMetricName(pass, arg, sel.Sel.Name, name)
+			return true
+		})
+	}
+}
+
+func checkMetricName(pass *Pass, arg ast.Expr, method, name string) {
+	report := func(format string, args ...any) {
+		pass.Reportf(arg.Pos(), "metric %q: "+format, append([]any{name}, args...)...)
+	}
+	if !metricNameRE.MatchString(name) {
+		report("not snake_case ([a-z0-9] runs separated by single underscores)")
+		return
+	}
+	if !strings.HasPrefix(name, "triad_") {
+		report("missing the triad_ namespace prefix")
+	}
+	for _, reserved := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, reserved) {
+			report("suffix %s is reserved for the histogram exposition expansion", reserved)
+			return
+		}
+	}
+	for bad, good := range badUnitSuffixes {
+		if strings.HasSuffix(name, bad) {
+			report("unit suffix %s is not a Prometheus base unit; use %s", bad, good)
+			return
+		}
+	}
+	isCounter := method == "Counter"
+	hasTotal := strings.HasSuffix(name, "_total")
+	switch {
+	case isCounter && !hasTotal:
+		report("counters must end in _total")
+	case !isCounter && hasTotal:
+		report("_total is the counter suffix; %s emits a %s", method, metricKind(method))
+	}
+	if method == "Histogram" &&
+		!strings.HasSuffix(name, "_seconds") && !strings.HasSuffix(name, "_bytes") {
+		report("histograms must carry a base-unit suffix (_seconds or _bytes)")
+	}
+}
+
+func metricKind(method string) string {
+	if method == "Histogram" {
+		return "histogram"
+	}
+	return "gauge"
+}

@@ -1,0 +1,74 @@
+package lint
+
+// MustClose enforces the lifetime conventions of the store's pinning
+// handles. Snapshots pin memtable overlay versions and zombie
+// sstables, iterators own snapshots, and block-cache handles own a
+// tenant's resident bytes; each is reclaimed only by an explicit
+// Close/Release (the finalizer safety net exists to count leaks, not
+// to excuse them). Every constructor result must therefore be
+// closed/released on all control-flow paths or escape to a tracked
+// owner (returned, stored in a registry, handed to another function).
+var MustClose = &Analyzer{
+	Name: "mustclose",
+	Doc:  "snapshots, iterators and cache handles must be closed/released or escape to an owner",
+	Run: func(pass *Pass) {
+		runResourceSpecs(pass, []*resourceSpec{
+			{
+				pkgSuffix: "internal/lsm",
+				typeName:  "Snapshot",
+				creators:  []string{"NewSnapshot", "NewSnapshotAt"},
+				releases:  []string{"Close"},
+				what:      "engine snapshot (*lsm.Snapshot)",
+				verb:      "closed",
+			},
+			{
+				pkgSuffix: "internal/lsm",
+				typeName:  "Iterator",
+				creators:  []string{"NewIterator"},
+				releases:  []string{"Close"},
+				what:      "engine iterator (*lsm.Iterator)",
+				verb:      "closed",
+			},
+			{
+				pkgSuffix: "internal/shard",
+				typeName:  "Snapshot",
+				creators:  []string{"NewSnapshot"},
+				releases:  []string{"Close"},
+				what:      "store snapshot (*shard.Snapshot)",
+				verb:      "closed",
+			},
+			{
+				pkgSuffix: "internal/shard",
+				typeName:  "Iter",
+				creators:  []string{"NewIterator"},
+				releases:  []string{"Close"},
+				what:      "store iterator (shard.Iter)",
+				verb:      "closed",
+			},
+			{
+				pkgSuffix: "internal/sstable",
+				typeName:  "Handle",
+				creators:  []string{"NewHandle"},
+				releases:  []string{"Release"},
+				what:      "block-cache tenant handle (*sstable.Handle)",
+				verb:      "released",
+			},
+			{
+				pkgSuffix: "repro",
+				typeName:  "Snapshot",
+				creators:  []string{"NewSnapshot"},
+				releases:  []string{"Close"},
+				what:      "snapshot (*triad.Snapshot)",
+				verb:      "closed",
+			},
+			{
+				pkgSuffix: "repro",
+				typeName:  "Iterator",
+				creators:  []string{"NewIterator"},
+				releases:  []string{"Close"},
+				what:      "iterator (triad.Iterator)",
+				verb:      "closed",
+			},
+		})
+	},
+}

@@ -1,0 +1,440 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// resourceSpec describes one "must be released" resource: calls named
+// in creators whose result is the named type must, on every
+// control-flow path, either have one of the release methods called on
+// them or be handed off (returned, stored, passed to another
+// function — a tracked owner takes over).
+type resourceSpec struct {
+	pkgSuffix string   // package path suffix owning the type
+	typeName  string   // named (or interface) type of the resource
+	creators  []string // function/method names that mint one
+	releases  []string // method names that satisfy the obligation
+	what      string   // diagnostic noun, e.g. "epoch ticket (*shard.Commit)"
+	verb      string   // diagnostic verb phrase, e.g. "committed or aborted"
+}
+
+func (rs *resourceSpec) createdBy(name string) bool {
+	for _, c := range rs.creators {
+		if c == name {
+			return true
+		}
+	}
+	return false
+}
+
+func (rs *resourceSpec) releasedBy(name string) bool {
+	for _, r := range rs.releases {
+		if r == name {
+			return true
+		}
+	}
+	return false
+}
+
+// creation is one tracked minting of a resource in a function body.
+type creation struct {
+	spec *resourceSpec
+	call *ast.CallExpr
+	obj  types.Object // tracked local, nil when the result is dropped
+	err  types.Object // error assigned alongside, if any
+}
+
+// runResourceSpecs checks every function body in the pass against the
+// specs. The analysis is intra-procedural and deliberately
+// transfer-friendly: any use that could move ownership elsewhere
+// (argument, return value, struct/slice/map/channel placement, alias
+// assignment, capture by a closure) satisfies the obligation, so the
+// only findings are values that provably stay local and still miss a
+// release on some path — the exact shape of a leak bug.
+func runResourceSpecs(pass *Pass, specs []*resourceSpec) {
+	for _, f := range pass.Files {
+		parents := buildParents(f)
+		funcBodies([]*ast.File{f}, func(body *ast.BlockStmt, decl *ast.FuncDecl) {
+			checkBody(pass, specs, parents, body)
+		})
+	}
+}
+
+func checkBody(pass *Pass, specs []*resourceSpec, parents map[ast.Node]ast.Node, body *ast.BlockStmt) {
+	creations := findCreations(pass, specs, parents, body)
+	if len(creations) == 0 {
+		return
+	}
+	g := buildCFG(body)
+	if !g.ok {
+		return // goto et al: skip rather than report unsoundly
+	}
+
+	for _, c := range creations {
+		if c.obj == nil {
+			pass.Reportf(c.call.Pos(), "result of %s (%s) is dropped; it must be %s",
+				calleeName(c.call), c.spec.what, c.spec.verb)
+			continue
+		}
+		satisfying := satisfyingNodes(pass, c.spec, specs, parents, body, c.obj, g)
+		node := nodeFor(parents, g, c.call)
+		if node == nil {
+			continue
+		}
+		if leak := findLeakPath(pass, g, node, satisfying, c); leak != nil {
+			where := "the function exit"
+			if leak.stmt != nil {
+				where = fmt.Sprintf("line %d", pass.Fset.Position(leak.stmt.Pos()).Line)
+			}
+			pass.Reportf(c.call.Pos(), "%s may not be %s on the path reaching %s",
+				c.spec.what, c.spec.verb, where)
+		}
+	}
+}
+
+// findCreations collects tracked resource mintings in body, skipping
+// nested function literals (each literal is checked as its own body).
+func findCreations(pass *Pass, specs []*resourceSpec, parents map[ast.Node]ast.Node, body *ast.BlockStmt) []creation {
+	var creations []creation
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := calleeName(call)
+		if name == "" {
+			return true
+		}
+		for _, spec := range specs {
+			if !spec.createdBy(name) {
+				continue
+			}
+			results := resultTypes(pass.TypesInfo, call)
+			idx := -1
+			for i, rt := range results {
+				if isNamedType(rt, spec.pkgSuffix, spec.typeName) {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				continue
+			}
+			c := creation{spec: spec, call: call}
+			track := false
+			switch p := parents[ast.Node(call)].(type) {
+			case *ast.AssignStmt:
+				var lhs ast.Expr
+				if len(p.Rhs) == 1 {
+					if idx < len(p.Lhs) {
+						lhs = p.Lhs[idx]
+					}
+					for i, l := range p.Lhs {
+						if i == idx {
+							continue
+						}
+						if id, ok := l.(*ast.Ident); ok && id.Name != "_" {
+							if o := identObject(pass.TypesInfo, id); o != nil && isErrorType(o.Type()) {
+								c.err = o
+							}
+						}
+					}
+				} else {
+					for i, rhs := range p.Rhs {
+						if ast.Unparen(rhs) == ast.Expr(call) && i < len(p.Lhs) {
+							lhs = p.Lhs[i]
+						}
+					}
+				}
+				switch l := lhs.(type) {
+				case *ast.Ident:
+					track = true
+					if l.Name != "_" {
+						c.obj = identObject(pass.TypesInfo, l)
+					}
+					// `_ = create()`: obj stays nil, reported as dropped.
+				case nil:
+					// Unmatched slot; leave untracked.
+				default:
+					// Stored straight into a slice element, struct
+					// field, or map entry: ownership moved to that
+					// container — a transfer, not a drop.
+				}
+			case *ast.ValueSpec:
+				track = true
+				if len(p.Values) == 1 && idx < len(p.Names) && p.Names[idx].Name != "_" {
+					c.obj = identObject(pass.TypesInfo, p.Names[idx])
+				} else {
+					for i, v := range p.Values {
+						if ast.Unparen(v) == ast.Expr(call) && i < len(p.Names) && p.Names[i].Name != "_" {
+							c.obj = identObject(pass.TypesInfo, p.Names[i])
+						}
+					}
+				}
+			case *ast.ExprStmt:
+				track = true // result dropped on the floor: reported as-is
+			default:
+				// Returned, passed along, stored into a composite —
+				// ownership moved before it ever had a local name.
+			}
+			if track {
+				creations = append(creations, c)
+			}
+			break
+		}
+		return true
+	})
+	return creations
+}
+
+// identObject resolves an identifier in assignment position.
+func identObject(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Defs[id]; o != nil {
+		return o
+	}
+	return info.Uses[id]
+}
+
+func isErrorType(t types.Type) bool {
+	n := namedOf(t)
+	return n != nil && n.Obj().Pkg() == nil && n.Obj().Name() == "error"
+}
+
+// satisfyingNodes finds every statement that satisfies the release
+// obligation for obj: a release-method call (including deferred ones)
+// or any ownership transfer. Neutral uses (method calls like Epoch(),
+// field accesses, nil comparisons) do not satisfy.
+func satisfyingNodes(pass *Pass, spec *resourceSpec, specs []*resourceSpec, parents map[ast.Node]ast.Node, body *ast.BlockStmt, obj types.Object, g *cfg) map[*cfgNode]bool {
+	satisfying := make(map[*cfgNode]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || pass.TypesInfo.Uses[id] != obj {
+			return true
+		}
+		// A use inside a nested function literal: the closure may run
+		// later (defer, goroutine, stored callback) — treat the
+		// statement introducing the literal as satisfying. The walk
+		// stops at the analyzed body so that, when body is itself a
+		// FuncLit's block, the enclosing literal does not count.
+		var litAncestor ast.Node
+		for p := parents[ast.Node(id)]; p != nil && p != ast.Node(body); p = parents[p] {
+			if _, ok := p.(*ast.FuncLit); ok {
+				litAncestor = p
+			}
+		}
+		anchor := ast.Node(id)
+		if litAncestor != nil {
+			anchor = litAncestor
+		}
+		stmt := enclosingStmt(parents, g, anchor)
+		if stmt == nil {
+			return true
+		}
+		if litAncestor != nil || classifyUse(pass, spec, specs, parents, id) != useNeutral {
+			satisfying[g.nodes[stmt]] = true
+		}
+		return true
+	})
+	return satisfying
+}
+
+type useKind int
+
+const (
+	useNeutral useKind = iota
+	useRelease
+	useTransfer
+)
+
+// classifyUse decides what one mention of the resource does.
+func classifyUse(pass *Pass, spec *resourceSpec, allSpecs []*resourceSpec, parents map[ast.Node]ast.Node, id *ast.Ident) useKind {
+	switch p := parents[ast.Node(id)].(type) {
+	case *ast.SelectorExpr:
+		if p.X != ast.Expr(id) {
+			return useNeutral
+		}
+		if call, ok := parents[ast.Node(p)].(*ast.CallExpr); ok && call.Fun == ast.Expr(p) {
+			if spec.releasedBy(p.Sel.Name) {
+				return useRelease
+			}
+			// A derived-resource constructor: a method on the resource
+			// whose result is itself tracked (snap.NewIterator, ...)
+			// hands the receiver to the derived object, whose own
+			// release obligation then covers both.
+			for _, rt := range resultTypes(pass.TypesInfo, call) {
+				for _, os := range allSpecs {
+					if isNamedType(rt, os.pkgSuffix, os.typeName) {
+						return useTransfer
+					}
+				}
+			}
+			return useNeutral // other method calls don't move ownership
+		}
+		if spec.releasedBy(p.Sel.Name) {
+			return useTransfer // method value (it.Close handed around)
+		}
+		return useNeutral
+	case *ast.CallExpr:
+		for _, arg := range p.Args {
+			if ast.Unparen(arg) == ast.Expr(id) {
+				return useTransfer // handed to another function
+			}
+		}
+		return useNeutral
+	case *ast.ReturnStmt:
+		return useTransfer
+	case *ast.AssignStmt:
+		for _, rhs := range p.Rhs {
+			if ast.Unparen(rhs) == ast.Expr(id) {
+				return useTransfer // aliased or stored somewhere
+			}
+		}
+		return useNeutral // reassignment target: that creation is tracked separately
+	case *ast.CompositeLit, *ast.KeyValueExpr, *ast.SendStmt, *ast.UnaryExpr, *ast.IndexExpr:
+		return useTransfer
+	case *ast.RangeStmt:
+		if p.X == ast.Expr(id) {
+			return useTransfer
+		}
+		return useNeutral
+	case *ast.TypeAssertExpr, *ast.StarExpr, *ast.ParenExpr:
+		return useTransfer // conservative: wrapped and used elsewhere
+	}
+	return useNeutral
+}
+
+// findLeakPath searches for a path from the creation node to the
+// function exit that never passes a satisfying node, pruning branches
+// where the resource is provably nil (error-checked creations,
+// explicit nil tests). It returns the node from which the exit was
+// reached, or nil when every path satisfies the obligation.
+func findLeakPath(pass *Pass, g *cfg, from *cfgNode, satisfying map[*cfgNode]bool, c creation) *cfgNode {
+	succsOf := func(n *cfgNode) []*cfgNode {
+		if ifStmt, ok := n.stmt.(*ast.IfStmt); ok && n.thenEntry != nil {
+			switch nilBranch(pass, ifStmt.Cond, c.obj, c.err) {
+			case nilOnThen:
+				return []*cfgNode{n.elseEntry}
+			case nilOnElse:
+				return []*cfgNode{n.thenEntry}
+			}
+		}
+		return n.succs
+	}
+	visited := make(map[*cfgNode]bool)
+	var dfs func(n, pred *cfgNode) *cfgNode
+	dfs = func(n, pred *cfgNode) *cfgNode {
+		if n == nil || visited[n] {
+			return nil
+		}
+		if n.isExit {
+			return pred
+		}
+		visited[n] = true
+		if satisfying[n] {
+			return nil
+		}
+		for _, s := range succsOf(n) {
+			if bad := dfs(s, n); bad != nil {
+				return bad
+			}
+		}
+		return nil
+	}
+	visited[from] = true
+	for _, s := range succsOf(from) {
+		if bad := dfs(s, from); bad != nil {
+			return bad
+		}
+	}
+	return nil
+}
+
+type nilBranchKind int
+
+const (
+	nilUnknown nilBranchKind = iota
+	nilOnThen                // condition true => resource is nil
+	nilOnElse                // condition false => resource is nil
+)
+
+// nilBranch inspects an if condition for the idioms that imply the
+// resource is nil on one branch: `err != nil` / `err == nil` for the
+// creation's sibling error, and `v == nil` / `v != nil` for the
+// resource itself. For composite conditions only implications that
+// survive the boolean structure are honored: `nil-implying && x`
+// still implies nil when the whole condition is true, and the whole
+// of `nil-implied-on-false || x` being false still implies nil.
+func nilBranch(pass *Pass, cond ast.Expr, obj, errObj types.Object) nilBranchKind {
+	cond = ast.Unparen(cond)
+	be, ok := cond.(*ast.BinaryExpr)
+	if !ok {
+		return nilUnknown
+	}
+	switch be.Op {
+	case token.LAND:
+		if nilBranch(pass, be.X, obj, errObj) == nilOnThen ||
+			nilBranch(pass, be.Y, obj, errObj) == nilOnThen {
+			return nilOnThen
+		}
+		return nilUnknown
+	case token.LOR:
+		if nilBranch(pass, be.X, obj, errObj) == nilOnElse ||
+			nilBranch(pass, be.Y, obj, errObj) == nilOnElse {
+			return nilOnElse
+		}
+		return nilUnknown
+	case token.EQL, token.NEQ:
+		var matched types.Object
+		lhs, rhs := ast.Unparen(be.X), ast.Unparen(be.Y)
+		for _, pair := range [][2]ast.Expr{{lhs, rhs}, {rhs, lhs}} {
+			id, ok := pair[0].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			o := pass.TypesInfo.Uses[id]
+			if o != nil && (o == obj || (errObj != nil && o == errObj)) && isNilIdent(pass, pair[1]) {
+				matched = o
+			}
+		}
+		if matched == nil {
+			return nilUnknown
+		}
+		if errObj != nil && matched == errObj {
+			// err != nil => creation failed => resource nil on then.
+			if be.Op == token.NEQ {
+				return nilOnThen
+			}
+			return nilOnElse
+		}
+		// v == nil => nil on then; v != nil => nil on else.
+		if be.Op == token.EQL {
+			return nilOnThen
+		}
+		return nilOnElse
+	}
+	return nilUnknown
+}
+
+func isNilIdent(pass *Pass, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := pass.TypesInfo.Uses[id].(*types.Nil)
+	return isNil
+}
+
+// nodeFor locates the CFG node whose statement encloses n.
+func nodeFor(parents map[ast.Node]ast.Node, g *cfg, n ast.Node) *cfgNode {
+	stmt := enclosingStmt(parents, g, n)
+	if stmt == nil {
+		return nil
+	}
+	return g.nodes[stmt]
+}

@@ -1,0 +1,57 @@
+// Package atomicfield seeds violations of the sync/atomic access
+// discipline: a field touched through sync/atomic anywhere must be
+// touched that way everywhere, and raw 64-bit atomic fields must sit
+// at 8-byte aligned offsets under 32-bit layout rules.
+package atomicfield
+
+import "sync/atomic"
+
+// ctr's n is accessed atomically in bump, so the plain read in read
+// is a race waiting for an interleaving.
+type ctr struct {
+	n    int64
+	mode uint32
+}
+
+func bump(c *ctr) {
+	atomic.AddInt64(&c.n, 1)
+	atomic.StoreUint32(&c.mode, 1)
+}
+
+func read(c *ctr) int64 {
+	return c.n // want `field n is accessed with sync/atomic .* and must not be accessed plainly`
+}
+
+func readMode(c *ctr) uint32 {
+	return atomic.LoadUint32(&c.mode) // consistent: no finding
+}
+
+// padded puts the 64-bit atomic after a bool: on 386/arm the field
+// lands at offset 4 and atomic.AddInt64 faults.
+type padded struct {
+	closed bool
+	hits   int64 // want `64-bit atomic field hits is at offset 4 under 32-bit alignment`
+}
+
+func bumpPadded(p *padded) {
+	atomic.AddInt64(&p.hits, 1)
+}
+
+// aligned leads with the 64-bit field: offset 0 is always safe.
+type aligned struct {
+	hits   int64
+	closed bool
+}
+
+func bumpAligned(a *aligned) {
+	atomic.AddInt64(&a.hits, 1)
+}
+
+// plain is never touched atomically, so ordinary access is fine.
+type plain struct {
+	n int64
+}
+
+func incPlain(p *plain) {
+	p.n++
+}

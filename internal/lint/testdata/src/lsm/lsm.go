@@ -1,0 +1,26 @@
+// Package lsm is a stub of repro/internal/lsm for analyzer golden
+// tests.
+package lsm
+
+type DB struct{}
+
+func (db *DB) NewSnapshot() (*Snapshot, error)             { return &Snapshot{}, nil }
+func (db *DB) NewSnapshotAt(seq uint64) (*Snapshot, error) { return &Snapshot{}, nil }
+func (db *DB) NewIterator(start, limit []byte) (*Iterator, error) {
+	return &Iterator{}, nil
+}
+
+type Snapshot struct{}
+
+func (s *Snapshot) Get(k []byte) ([]byte, error) { return nil, nil }
+func (s *Snapshot) NewIterator(start, limit []byte) (*Iterator, error) {
+	return &Iterator{}, nil
+}
+func (s *Snapshot) Close() error { return nil }
+
+type Iterator struct{}
+
+func (it *Iterator) Next() bool    { return false }
+func (it *Iterator) Key() []byte   { return nil }
+func (it *Iterator) Value() []byte { return nil }
+func (it *Iterator) Close() error  { return nil }

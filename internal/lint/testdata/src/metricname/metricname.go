@@ -1,0 +1,24 @@
+// Package metricname seeds violations of the metric-naming
+// conventions checked at obs.Prom emission sites.
+package metricname
+
+import "obs"
+
+const flushBytes = "triad_flush_backlog_bytes"
+
+func emit(p *obs.Prom, dyn string) {
+	p.Counter("triad_requests_total", "", "", 1) // conventional: no finding
+	p.Gauge("triad_queue_depth", "", "", 1)      // conventional: no finding
+	p.GaugeF(flushBytes, "", "", 1)              // constants fold: no finding
+	p.Histogram("triad_commit_wait_seconds", "", "", nil)
+
+	p.Counter("triad_requests", "", "", 1)                    // want `counters must end in _total`
+	p.Gauge("triad_queue_depth_total", "", "", 1)             // want `_total is the counter suffix; Gauge emits a gauge`
+	p.Counter("Triad_Requests_Total", "", "", 1)              // want `not snake_case`
+	p.Counter("triad__requests_total", "", "", 1)             // want `not snake_case`
+	p.Counter("requests_total", "", "", 1)                    // want `missing the triad_ namespace prefix`
+	p.Histogram("triad_commit_wait_ms", "", "", nil)          // want `unit suffix _ms is not a Prometheus base unit; use _seconds`
+	p.Histogram("triad_commit_wait", "", "", nil)             // want `histograms must carry a base-unit suffix`
+	p.Histogram("triad_commit_wait_seconds_sum", "", "", nil) // want `suffix _sum is reserved for the histogram exposition expansion`
+	p.Counter(dyn, "", "", 1)                                 // want `not a compile-time constant`
+}

@@ -1,0 +1,19 @@
+// Package nilsafeobs is the caller-side golden target for the
+// nilsafeobs analyzer: outside internal/obs, code must go through the
+// nil-safe methods — a direct field access is one `-no-observability`
+// run away from a nil dereference.
+package nilsafeobs
+
+import "obs"
+
+func record(h *obs.Hist) {
+	h.Observe(7) // methods keep the nil contract: no finding
+}
+
+func peek(h *obs.Hist) int64 {
+	return h.Count // want `direct access to obs\.Hist field Count outside internal/obs`
+}
+
+func bump(h *obs.Hist) {
+	h.Count++ // want `direct access to obs\.Hist field Count outside internal/obs`
+}

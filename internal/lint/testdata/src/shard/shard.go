@@ -1,0 +1,37 @@
+// Package shard is a stub of repro/internal/shard for analyzer golden
+// tests: the names and result shapes the analyzers match on, none of
+// the behaviour. It is found because the analyzers match packages by
+// path suffix ("internal/shard" binds to a bare "shard" too).
+package shard
+
+type DB struct{}
+
+type Batch struct{}
+
+func (b *Batch) Put(k, v []byte) {}
+
+// Commit is the epoch ticket minted by Prepare.
+type Commit struct{ epoch uint64 }
+
+func (db *DB) Prepare(b *Batch) (*Commit, error) { return &Commit{}, nil }
+
+func (c *Commit) Epoch() uint64 { return c.epoch }
+func (c *Commit) Commit() error { return nil }
+func (c *Commit) Abort()        {}
+
+type Snapshot struct{}
+
+func (db *DB) NewSnapshot() (*Snapshot, error) { return &Snapshot{}, nil }
+
+func (s *Snapshot) Get(k []byte) ([]byte, error)                  { return nil, nil }
+func (s *Snapshot) NewIterator(start, limit []byte) (Iter, error) { return nil, nil }
+func (s *Snapshot) Close() error                                  { return nil }
+
+// Iter is the store iterator interface; mustclose tracks it as a
+// resource even though it is not a concrete type.
+type Iter interface {
+	Next() bool
+	Key() []byte
+	Value() []byte
+	Close() error
+}

@@ -1,0 +1,15 @@
+// Package sstable is a stub of repro/internal/sstable for analyzer
+// golden tests: just the block cache's tenant-handle surface.
+package sstable
+
+type Cache struct{}
+
+func NewCache(capacity int64) *Cache { return &Cache{} }
+
+func (c *Cache) NewHandle() *Handle { return &Handle{} }
+
+type Handle struct{}
+
+func (h *Handle) Get(table, off uint64) []byte      { return nil }
+func (h *Handle) Put(table, off uint64, blk []byte) {}
+func (h *Handle) Release()                          {}

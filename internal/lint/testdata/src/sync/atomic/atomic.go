@@ -1,0 +1,12 @@
+// Package atomic is a stub of sync/atomic for the atomicfield golden
+// tests. The stub loader resolves the import path "sync/atomic" to
+// this package, which is all the analyzer's package-identity check
+// needs.
+package atomic
+
+func AddInt64(addr *int64, delta int64) (new int64)     { return }
+func LoadInt64(addr *int64) (val int64)                 { return }
+func StoreInt64(addr *int64, val int64)                 {}
+func AddUint64(addr *uint64, delta uint64) (new uint64) { return }
+func LoadUint32(addr *uint32) (val uint32)              { return }
+func StoreUint32(addr *uint32, val uint32)              {}

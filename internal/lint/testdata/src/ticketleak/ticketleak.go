@@ -1,0 +1,95 @@
+// Package ticketleak seeds violations of the epoch-ticket lifetime
+// invariant: every *shard.Commit minted by Prepare must reach
+// Commit() or Abort() on every control-flow path. A leaked ticket
+// holds its epoch open forever and stalls snapshot reclamation, so
+// the analyzer treats "some path forgets" as a finding even when the
+// happy path is correct.
+package ticketleak
+
+import "shard"
+
+var cond bool
+
+// leakOnEarlyReturn forgets the ticket on the validation bail-out.
+func leakOnEarlyReturn(db *shard.DB, b *shard.Batch) error {
+	c, err := db.Prepare(b) // want `epoch ticket \(\*shard\.Commit\) may not be committed or aborted`
+	if err != nil {
+		return err
+	}
+	if cond {
+		return nil // ticket c leaks here
+	}
+	return c.Commit()
+}
+
+// dropped never binds the ticket at all.
+func dropped(db *shard.DB, b *shard.Batch) {
+	db.Prepare(b) // want `result of Prepare \(epoch ticket \(\*shard\.Commit\)\) is dropped`
+}
+
+// committed settles the ticket on both paths.
+func committed(db *shard.DB, b *shard.Batch) error {
+	c, err := db.Prepare(b)
+	if err != nil {
+		return err
+	}
+	if cond {
+		c.Abort()
+		return nil
+	}
+	return c.Commit()
+}
+
+// deferredAbort satisfies the obligation from a deferred closure:
+// the analyzer treats closure capture as a hand-off.
+func deferredAbort(db *shard.DB, b *shard.Batch) error {
+	c, err := db.Prepare(b)
+	if err != nil {
+		return err
+	}
+	done := false
+	defer func() {
+		if !done {
+			c.Abort()
+		}
+	}()
+	if err := c.Commit(); err != nil {
+		return err
+	}
+	done = true
+	return nil
+}
+
+// neutralUseDoesNotSatisfy: reading the epoch is not settling the
+// ticket.
+func neutralUseDoesNotSatisfy(db *shard.DB, b *shard.Batch) uint64 {
+	c, err := db.Prepare(b) // want `epoch ticket \(\*shard\.Commit\) may not be committed or aborted`
+	if err != nil {
+		return 0
+	}
+	return c.Epoch()
+}
+
+// transferred hands the ticket to the caller, which takes over the
+// obligation.
+func transferred(db *shard.DB, b *shard.Batch) (*shard.Commit, error) {
+	return db.Prepare(b)
+}
+
+// transferredViaVar escapes through a return of the local.
+func transferredViaVar(db *shard.DB, b *shard.Batch) (*shard.Commit, error) {
+	c, err := db.Prepare(b)
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// errPathPruned: the nil-implied branch is not a leak path.
+func errPathPruned(db *shard.DB, b *shard.Batch) error {
+	c, err := db.Prepare(b)
+	if err != nil {
+		return err // c is nil here: pruned, not a leak
+	}
+	return c.Commit()
+}

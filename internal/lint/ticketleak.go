@@ -1,0 +1,30 @@
+package lint
+
+// TicketLeak enforces the commit-pipeline liveness invariant
+// documented on shard.Prepare: every *shard.Commit it returns holds an
+// epoch ticket — a slot in the store-wide total commit order — and
+// exactly one Commit() or Abort() call must follow on every
+// control-flow path. An abandoned ticket is worse than a resource
+// leak: the committed watermark can never pass the missing epoch, so
+// every later write and snapshot queued behind it on the ticket's
+// shards stalls forever. The analyzer is control-flow aware (a ticket
+// released in only one branch of an if is a finding) and treats any
+// ownership hand-off — returning the ticket, storing it, passing it to
+// another function, capturing it in a closure — as transferring the
+// obligation to the new owner.
+var TicketLeak = &Analyzer{
+	Name: "ticketleak",
+	Doc:  "epoch tickets from shard.Prepare must reach Commit() or Abort() on all paths",
+	Run: func(pass *Pass) {
+		runResourceSpecs(pass, []*resourceSpec{
+			{
+				pkgSuffix: "internal/shard",
+				typeName:  "Commit",
+				creators:  []string{"Prepare"},
+				releases:  []string{"Commit", "Abort"},
+				what:      "epoch ticket (*shard.Commit)",
+				verb:      "committed or aborted",
+			},
+		})
+	},
+}

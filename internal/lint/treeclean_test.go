@@ -1,0 +1,24 @@
+package lint
+
+import "testing"
+
+// TestTreeIsClean runs the full suite over the repository — the same
+// check CI's triadlint step performs — so a violation anywhere in the
+// tree fails `go test ./internal/lint` too, keeping the invariants
+// enforced even where triadlint is not wired in.
+func TestTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole repository; skipped in -short")
+	}
+	l := NewLoader("../..")
+	pkgs, err := l.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loader found no packages")
+	}
+	for _, d := range Run(pkgs, Analyzers()) {
+		t.Errorf("%s", d)
+	}
+}

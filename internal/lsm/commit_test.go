@@ -106,7 +106,8 @@ func TestNewSnapshotAtBounds(t *testing.T) {
 	if err := db.CommitAt(20, b); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := db.NewSnapshotAt(19); err == nil {
+	if s19, err := db.NewSnapshotAt(19); err == nil {
+		s19.Close()
 		t.Fatal("NewSnapshotAt(19) after commit 20 succeeded, want error")
 	}
 	s, err := db.NewSnapshotAt(25)

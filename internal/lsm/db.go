@@ -9,6 +9,12 @@
 // paper's §4 mechanisms at exactly three sites — the flush policy, the L0
 // compaction gate, and the L0 table format — leaving everything else
 // byte-identical, which is what makes the ablation meaningful.
+//
+// Snapshots and iterators pin engine state (memtable overlay versions,
+// zombie sstables) until closed; triadlint's mustclose analyzer (see
+// internal/lint) enforces that every NewSnapshot/NewSnapshotAt/
+// NewIterator result is closed on all control-flow paths or escapes to
+// a tracked owner.
 package lsm
 
 import (

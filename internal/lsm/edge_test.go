@@ -168,6 +168,7 @@ func TestIteratorDuringCompaction(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer it.Close()
 	// Mutate heavily after the snapshot.
 	for i := 0; i < 1000; i++ {
 		db.Put([]byte(fmt.Sprintf("key-%04d", i)), []byte("v2"))

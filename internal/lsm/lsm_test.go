@@ -364,8 +364,10 @@ func TestUseAfterClose(t *testing.T) {
 	if _, err := db.Get([]byte("k")); !errors.Is(err, ErrClosed) {
 		t.Fatalf("Get after close = %v", err)
 	}
-	if _, err := db.NewIterator(nil, nil); !errors.Is(err, ErrClosed) {
+	if it, err := db.NewIterator(nil, nil); !errors.Is(err, ErrClosed) {
 		t.Fatalf("NewIterator after close = %v", err)
+	} else if it != nil {
+		it.Close()
 	}
 }
 

@@ -201,8 +201,10 @@ func TestSnapshotClosedErrors(t *testing.T) {
 	if _, err := s.Get([]byte("k000")); !errors.Is(err, ErrSnapshotClosed) {
 		t.Fatalf("Get after Close = %v, want ErrSnapshotClosed", err)
 	}
-	if _, err := s.NewIterator(nil, nil); !errors.Is(err, ErrSnapshotClosed) {
+	if it2, err := s.NewIterator(nil, nil); !errors.Is(err, ErrSnapshotClosed) {
 		t.Fatalf("NewIterator after Close = %v, want ErrSnapshotClosed", err)
+	} else if it2 != nil {
+		it2.Close()
 	}
 	// The pre-Close iterator keeps working: it holds a pin reference.
 	n := 0
@@ -299,9 +301,11 @@ func TestSnapshotLeakFinalizer(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := s.NewIterator(nil, nil); err != nil {
+		it, err := s.NewIterator(nil, nil)
+		if err != nil {
 			t.Fatal(err)
 		}
+		_ = it // dropped without Close
 	}()
 	waitReclaimed(2)
 	func() {
@@ -310,9 +314,11 @@ func TestSnapshotLeakFinalizer(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := s.NewIterator(nil, nil); err != nil {
+		it, err := s.NewIterator(nil, nil)
+		if err != nil {
 			t.Fatal(err)
 		}
+		_ = it // dropped without Close
 		if err := s.Close(); err != nil {
 			t.Fatal(err)
 		}

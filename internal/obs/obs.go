@@ -13,6 +13,13 @@
 // Every type is nil-safe on its write path (a nil *Hist, *Journal or
 // *SlowLog records nothing), so instrumentation can be compiled down to
 // a pointer test where a caller opts out.
+//
+// That contract is machine-checked by triadlint (see internal/lint):
+// nilsafeobs requires every exported pointer-receiver method on the
+// nil-safe types to guard `recv == nil` before its first field access
+// and forbids callers outside this package from touching their fields,
+// and metricname vets the names handed to Prom's emission methods
+// (constant triad_* snake_case, conventional unit suffixes).
 package obs
 
 import (

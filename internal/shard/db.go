@@ -24,6 +24,14 @@
 // verbatim; several contiguous shards: concatenation in key order;
 // hashed: a k-way heap merge), and Flush/CompactAll/Close fan out to
 // every shard and drain them.
+//
+// Two lifetime invariants here are machine-checked by triadlint (see
+// internal/lint): every *Commit ticket minted by Prepare must reach
+// Commit or Abort on all control-flow paths (ticketleak — an
+// unsettled ticket holds the epoch pipeline open forever), and every
+// Snapshot and Iter must be closed or handed to a tracked owner
+// (mustclose — snapshots pin memtable overlays and zombie sstables
+// until released).
 package shard
 
 import (

@@ -260,6 +260,9 @@ func TestSingleShardScanFastPath(t *testing.T) {
 	if it.Next() {
 		t.Fatal("empty range yielded an entry")
 	}
+	if err := it.Close(); err != nil {
+		t.Fatal(err)
+	}
 
 	// The hash store keeps the merged path for multi-shard stores...
 	hdb := openMem(t, 4)
@@ -271,6 +274,7 @@ func TestSingleShardScanFastPath(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer hit.Close()
 	if _, ok := hit.(*Merged); !ok {
 		t.Fatalf("hash scan returned %T, want *Merged", hit)
 	}
@@ -281,6 +285,7 @@ func TestSingleShardScanFastPath(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer oit.Close()
 	if _, ok := oit.(*lsm.Iterator); !ok {
 		t.Fatalf("1-shard scan returned %T, want *lsm.Iterator", oit)
 	}
@@ -365,6 +370,7 @@ func TestScanDifferential(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		defer it.Close()
 		var out [][2]string
 		for it.Next() {
 			out = append(out, [2]string{string(it.Key()), string(it.Value())})

@@ -77,6 +77,7 @@ func TestBehaviorParity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer it.Close()
 	got := map[string]string{}
 	for it.Next() {
 		got[string(it.Key())] = string(it.Value())
@@ -132,11 +133,13 @@ func TestIteratorGloballySorted(t *testing.T) {
 		t.Fatalf("iterated %d entries, want 3000", n)
 	}
 
-	// Bounded scan.
+	// Bounded scan. (The earlier defer bound the first iterator's
+	// receiver, so this one needs its own Close.)
 	it, err = db.NewIterator([]byte("k000100"), []byte("k000200"))
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer it.Close()
 	n = 0
 	for it.Next() {
 		k := string(it.Key())

@@ -206,7 +206,9 @@ func TestShardSnapshotFrozenAndClosed(t *testing.T) {
 	if _, err := s.Get([]byte("k0123")); !errors.Is(err, lsm.ErrSnapshotClosed) {
 		t.Fatalf("Get after Close = %v, want ErrSnapshotClosed", err)
 	}
-	if _, err := s.NewIterator(nil, nil); !errors.Is(err, lsm.ErrSnapshotClosed) {
+	if it2, err := s.NewIterator(nil, nil); !errors.Is(err, lsm.ErrSnapshotClosed) {
 		t.Fatalf("NewIterator after Close = %v, want ErrSnapshotClosed", err)
+	} else if it2 != nil {
+		it2.Close()
 	}
 }

@@ -19,6 +19,7 @@ func plainLRU(capacity int64) *Cache {
 
 func TestBlockCacheLRU(t *testing.T) {
 	h := plainLRU(100).NewHandle()
+	defer h.Release()
 	h.Put(1, 0, make([]byte, 40))
 	h.Put(1, 40, make([]byte, 40))
 	if used := h.c.Used(); used != 80 {
@@ -48,6 +49,7 @@ func TestBlockCacheLRU(t *testing.T) {
 func TestBlockCacheOversizedNotAdmitted(t *testing.T) {
 	c := plainLRU(10)
 	h := c.NewHandle()
+	defer h.Release()
 	h.Put(1, 0, make([]byte, 100))
 	if c.Used() != 0 {
 		t.Fatal("oversized block admitted")
@@ -57,6 +59,7 @@ func TestBlockCacheOversizedNotAdmitted(t *testing.T) {
 func TestBlockCacheReplaceSameKey(t *testing.T) {
 	c := plainLRU(1000)
 	h := c.NewHandle()
+	defer h.Release()
 	h.Put(1, 0, make([]byte, 100))
 	h.Put(1, 0, make([]byte, 50))
 	if c.Used() != 50 {
@@ -70,6 +73,7 @@ func TestBlockCacheReplaceSameKey(t *testing.T) {
 func TestBlockCacheEvictTable(t *testing.T) {
 	c := NewCache(1 << 20)
 	h := c.NewHandle()
+	defer h.Release()
 	h.Put(1, 0, make([]byte, 10))
 	h.Put(1, 10, make([]byte, 10))
 	h.Put(2, 0, make([]byte, 10))
@@ -121,6 +125,7 @@ func TestNilBlockCacheSafe(t *testing.T) {
 func TestCacheTenantIsolation(t *testing.T) {
 	c := NewCache(1 << 20)
 	a, b := c.NewHandle(), c.NewHandle()
+	defer b.Release()
 	a.Put(1, 0, []byte("from-a"))
 	if b.Get(1, 0) != nil {
 		t.Fatal("tenant b read tenant a's block")
@@ -158,6 +163,7 @@ func TestCacheScanResistance(t *testing.T) {
 	)
 	hotRate := func(c *Cache) float64 {
 		h := c.NewHandle()
+		defer h.Release()
 		blk := make([]byte, blockSize)
 		// Establish the hot set: enough rounds for promotion into the
 		// protected queue and a solid frequency-sketch footprint.
@@ -205,6 +211,7 @@ func TestCacheProtectedPromotion(t *testing.T) {
 	// One segment so queue behaviour is exact; admission on.
 	c := NewCacheOpts(CacheOptions{Bytes: 8 << 10, Segments: 1})
 	h := c.NewHandle()
+	defer h.Release()
 	blk := make([]byte, 1<<10)
 	h.Put(1, 0, blk)
 	if h.Get(1, 0) == nil { // second touch: promote
@@ -223,6 +230,7 @@ func TestCacheProtectedPromotion(t *testing.T) {
 func TestBlockCacheConcurrent(t *testing.T) {
 	c := NewCache(1 << 16)
 	h := c.NewHandle()
+	defer h.Release()
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {
 		wg.Add(1)
@@ -250,6 +258,7 @@ func TestBlockCacheConcurrentContended(t *testing.T) {
 	const capacity = 4 << 10
 	c := NewCache(capacity)
 	h := c.NewHandle()
+	defer h.Release()
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {
 		wg.Add(1)
@@ -300,6 +309,7 @@ func TestBlockCacheConcurrentContended(t *testing.T) {
 func TestBlockCacheConcurrentReadersOneTable(t *testing.T) {
 	c := NewCache(1 << 20)
 	h := c.NewHandle()
+	defer h.Release()
 	other := c.NewHandle()
 	const hotTable, coldTable = 1, 2
 	for off := uint64(0); off < 32; off++ {

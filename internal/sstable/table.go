@@ -11,6 +11,11 @@
 // Both satisfy the Table interface, which is what the read path, the
 // compaction merge and the manifest operate on — the rest of the engine is
 // format-agnostic.
+//
+// The shared block cache hands out per-tenant Handles whose resident
+// bytes are reclaimed only by Release; triadlint's mustclose analyzer
+// (see internal/lint) enforces that every NewHandle result is released
+// on all control-flow paths or escapes to a tracked owner.
 package sstable
 
 import (

@@ -1,0 +1,15 @@
+#!/bin/sh
+# Runs staticcheck at the pinned version over the given packages
+# (default ./...). The version below is the single source of truth —
+# CI and local runs both come through here, so a new staticcheck
+# release can never break one without the other.
+#
+# The pin lives in a script rather than a tools.go because the module
+# is deliberately dependency-free: `go run pkg@version` fetches and
+# runs the tool without touching go.mod.
+set -eu
+
+STATICCHECK_VERSION=2025.1
+
+cd "$(dirname "$0")/.."
+go run "honnef.co/go/tools/cmd/staticcheck@${STATICCHECK_VERSION}" "${@:-./...}"

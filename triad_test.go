@@ -192,8 +192,10 @@ func TestPublicAPISnapshot(t *testing.T) {
 			if _, err := snap.Get([]byte("k050")); !errors.Is(err, ErrSnapshotClosed) {
 				t.Fatalf("Get after Close = %v, want ErrSnapshotClosed", err)
 			}
-			if _, err := snap.NewIterator(nil, nil); !errors.Is(err, ErrSnapshotClosed) {
+			if it2, err := snap.NewIterator(nil, nil); !errors.Is(err, ErrSnapshotClosed) {
 				t.Fatalf("NewIterator after Close = %v, want ErrSnapshotClosed", err)
+			} else if it2 != nil {
+				it2.Close()
 			}
 			if db.OpenSnapshots() != 0 {
 				t.Fatalf("OpenSnapshots = %d after Close", db.OpenSnapshots())
