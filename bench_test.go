@@ -22,6 +22,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/bgsched"
 	"repro/internal/harness"
 	"repro/internal/lsm"
 	"repro/internal/shard"
@@ -735,6 +736,108 @@ func BenchmarkCacheSkewedTenants(b *testing.B) {
 		b.ReportMetric(shared.KOPS/split.KOPS, "gain")
 		b.ReportMetric(100*shared.CacheHitRate, "shared_hit_pct")
 		b.ReportMetric(100*split.CacheHitRate, "split_hit_pct")
+	}
+}
+
+// --- Background-scheduler benchmarks ---
+
+// BenchmarkIngestToQuiesce is the acceptance benchmark for the shared
+// background worker pool: the same sustained write-only ingest driven
+// all the way to quiesce (flush + compact-all) under the legacy
+// free-goroutine engine and under the pool with parallel
+// subcompactions, at identical aggregate memory. Compare kops and
+// stall_s across the sub-benchmarks: the pool rows must match or beat
+// legacy throughput and shrink total stall seconds. Meaningful at
+// -cpu 2,4 — parallel slices need spare cores to win.
+func BenchmarkIngestToQuiesce(b *testing.B) {
+	s := benchScale()
+	s.Shards = 4
+	for _, v := range []struct {
+		name    string
+		workers int
+		subcomp int
+	}{
+		{"legacy", -1, 1},
+		{"pool-2w", 2, 2},
+		{"pool-4w", 4, 4},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := harness.RunIngest(harness.Spec{
+					Name:                v.name,
+					Engine:              shard.DivideBudgets(benchShardEngine(s), s.Shards),
+					Shards:              s.Shards,
+					Mix:                 workload.Mix{Dist: workload.Uniform{N: s.Keys}},
+					Threads:             s.Threads,
+					Ops:                 s.Ops,
+					PrepopulateFraction: 0.5,
+					BackgroundWorkers:   v.workers,
+					MaxSubcompactions:   v.subcomp,
+					Seed:                42,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.KOPS, "kops")
+				b.ReportMetric(res.StallTime.Seconds(), "stall_s")
+				b.ReportMetric(float64(res.Stalls), "stalls")
+				b.ReportMetric(res.Quiesce.Seconds(), "quiesce_s")
+			}
+		})
+	}
+}
+
+// BenchmarkSubcompaction times one full-tree compaction of the same
+// settled store, monolithic vs split into parallel key-range slices on
+// a 4-worker pool. The timed region is CompactAll only; load and flush
+// happen outside the timer. Meaningful at -cpu 2,4: with one core the
+// sliced row degenerates to sequential merges plus split overhead,
+// with spare cores it should approach a worker-count speedup.
+func BenchmarkSubcompaction(b *testing.B) {
+	const keys = 60_000
+	for _, v := range []struct {
+		name    string
+		subcomp int
+	}{
+		{"monolithic", 1},
+		{"sliced-4", 4},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				pool := bgsched.NewPool(4)
+				o := lsm.TriadOptions(vfs.NewMemFS())
+				o.MemtableBytes = 256 << 10
+				o.TargetFileBytes = 64 << 10
+				o.BaseLevelBytes = 512 << 10
+				o.DisableAutoCompaction = true
+				o.Scheduler = pool
+				o.MaxSubcompactions = v.subcomp
+				db, err := lsm.Open(o)
+				if err != nil {
+					b.Fatal(err)
+				}
+				val := []byte("0123456789abcdef0123456789abcdef0123456789abcdef")
+				for k := 0; k < keys; k++ {
+					if err := db.Put([]byte(fmt.Sprintf("key-%08d", k)), val); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := db.Flush(); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if err := db.CompactAll(); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				if err := db.Close(); err != nil {
+					b.Fatal(err)
+				}
+				pool.Close()
+				b.StartTimer()
+			}
+		})
 	}
 }
 

@@ -7,7 +7,8 @@
 //	triadbench -experiment all -scale full  # everything, paper-like scale
 //
 // Experiments: fig2, fig7, fig8, fig9a, fig9b (includes 9c), fig9d,
-// fig10, fig11, shardscale, scanlocal, conflict, net, cacheskew, all.
+// fig10, fig11, shardscale, scanlocal, conflict, net, cacheskew,
+// ingest, all.
 //
 // -shards N (N > 1) runs every figure against the sharded engine (N lsm
 // instances at the same aggregate memory); the shardscale experiment
@@ -29,7 +30,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("experiment", "all", "which figure to regenerate: fig2|fig7|fig8|fig9a|fig9b|fig9c|fig9d|fig10|fig11|fig10dev|sizetiered|shardscale|scanlocal|conflict|net|cacheskew|all")
+		exp     = flag.String("experiment", "all", "which figure to regenerate: fig2|fig7|fig8|fig9a|fig9b|fig9c|fig9d|fig10|fig11|fig10dev|sizetiered|shardscale|scanlocal|conflict|net|cacheskew|ingest|all")
 		scale   = flag.String("scale", "quick", "quick (seconds per figure) or full (paper-like sizes)")
 		keys    = flag.Uint64("keys", 0, "override synthetic key-space size")
 		ops     = flag.Int64("ops", 0, "override timed operation count per run")
@@ -161,6 +162,17 @@ func main() {
 		// Shared vs equal-split block cache under skewed multi-tenant
 		// reads, at identical total cache bytes.
 		run("cacheskew", func() error { _, err := harness.CacheSkew(s, os.Stdout); return err })
+	}
+	if want("ingest") {
+		any = true
+		// Sustained ingest to quiesce: legacy free goroutines vs the
+		// shared worker pool with parallel subcompactions, at identical
+		// aggregate memory.
+		ing := s
+		if ing.Shards <= 1 {
+			ing.Shards = 4
+		}
+		run("ingest", func() error { _, err := harness.Ingest(ing, os.Stdout); return err })
 	}
 	if !any {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)

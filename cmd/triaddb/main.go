@@ -45,6 +45,8 @@ func main() {
 		partitioner = flag.String("partitioner", "", "shard router: hash (default for new stores) or range; an existing store's stored partitioner is adopted when empty")
 		splits      = flag.String("splits", "", "comma-separated ascending split keys for -partitioner range (N-1 keys for N shards), e.g. -splits g,n,t")
 		cacheBytes  = flag.Int64("cache-bytes", 0, "store-wide block-cache budget in bytes, shared by all shards (0: the profile default)")
+		bgWorkers   = flag.Int("bg-workers", 0, "background flush/compaction worker pool size shared by all shards (0: min(GOMAXPROCS, shards+2), floor 2; negative: legacy per-shard goroutines)")
+		subcomp     = flag.Int("subcompactions", 0, "max parallel slices one leveled compaction may split into (0: up to the pool size; 1: monolithic)")
 	)
 	flag.Parse()
 	args := flag.Args()
@@ -57,7 +59,10 @@ func main() {
 	if *baseline {
 		profile = triad.ProfileBaseline
 	}
-	opts := triad.Options{Profile: profile, Partitioner: *partitioner, BlockCacheBytes: *cacheBytes}
+	opts := triad.Options{
+		Profile: profile, Partitioner: *partitioner, BlockCacheBytes: *cacheBytes,
+		BackgroundWorkers: *bgWorkers, MaxSubcompactions: *subcomp,
+	}
 	if *splits != "" {
 		for _, s := range strings.Split(*splits, ",") {
 			opts.RangeSplits = append(opts.RangeSplits, []byte(s))

@@ -15,6 +15,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/bgsched"
 	"repro/internal/histogram"
 	"repro/internal/lsm"
 	"repro/internal/metrics"
@@ -89,6 +90,16 @@ type Spec struct {
 	// store-wide scan-resistant cache. The baseline side of the
 	// shared-cache comparison.
 	CacheSplit bool
+	// BackgroundWorkers sizes the shared background flush/compaction
+	// pool: 0 takes the default (min(GOMAXPROCS, shards+2), floor 2),
+	// negative restores the legacy free background goroutines per
+	// engine — the pre-pool baseline the scheduler experiments compare
+	// against.
+	BackgroundWorkers int
+	// MaxSubcompactions caps the parallel key-range slices one leveled
+	// compaction may split into when the pool is on (0: up to the pool
+	// size; 1: monolithic).
+	MaxSubcompactions int
 	// Seed makes the run deterministic.
 	Seed int64
 }
@@ -135,43 +146,11 @@ type Result struct {
 // its own device when DevicePerShard is set (the one-disk-per-shard
 // scale-out deployment).
 func Run(spec Spec) (Result, error) {
-	opts := spec.Engine
-	opts.Seed = spec.Seed
-	var db Engine
-	var err error
-	if spec.Shards > 1 {
-		var part shard.Partitioner
-		if part, err = spec.partitioner(); err != nil {
-			return Result{}, err
-		}
-		if spec.CacheSplit {
-			opts.PlainBlockCache = true
-		}
-		db, err = shard.Open(shard.Options{
-			Shards:          spec.Shards,
-			Engine:          opts,
-			Partitioner:     part,
-			SplitBlockCache: spec.CacheSplit,
-			NewFS: func(int) (vfs.FS, error) {
-				fs := vfs.NewMemFS()
-				lat := spec.Latency
-				if spec.DevicePerShard && lat.Device != nil {
-					lat.Device = &vfs.Device{}
-				}
-				fs.Latency = lat
-				return fs, nil
-			},
-		})
-	} else {
-		fs := vfs.NewMemFS()
-		fs.Latency = spec.Latency
-		opts.FS = fs
-		db, err = lsm.Open(opts)
-	}
+	db, cleanup, err := openEngine(spec)
 	if err != nil {
 		return Result{}, err
 	}
-	defer db.Close()
+	defer cleanup()
 
 	if err := prepopulate(db, spec); err != nil {
 		return Result{}, err
@@ -271,6 +250,71 @@ func Run(spec Spec) (Result, error) {
 	res.P99 = res.Lat.Quantile(0.99)
 	res.P999 = res.Lat.Quantile(0.999)
 	return res, nil
+}
+
+// openEngine opens the spec's engine — sharded or single-instance — on
+// fresh MemFS instances. cleanup closes the engine and, on the
+// single-instance path, the private background pool built for it (the
+// shard layer owns its pool).
+func openEngine(spec Spec) (db Engine, cleanup func(), err error) {
+	opts := spec.Engine
+	opts.Seed = spec.Seed
+	if spec.Shards > 1 {
+		var part shard.Partitioner
+		if part, err = spec.partitioner(); err != nil {
+			return nil, nil, err
+		}
+		if spec.CacheSplit {
+			opts.PlainBlockCache = true
+		}
+		db, err = shard.Open(shard.Options{
+			Shards:            spec.Shards,
+			Engine:            opts,
+			Partitioner:       part,
+			SplitBlockCache:   spec.CacheSplit,
+			BackgroundWorkers: spec.BackgroundWorkers,
+			MaxSubcompactions: spec.MaxSubcompactions,
+			NewFS: func(int) (vfs.FS, error) {
+				fs := vfs.NewMemFS()
+				lat := spec.Latency
+				if spec.DevicePerShard && lat.Device != nil {
+					lat.Device = &vfs.Device{}
+				}
+				fs.Latency = lat
+				return fs, nil
+			},
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		return db, func() { db.Close() }, nil
+	}
+	fs := vfs.NewMemFS()
+	fs.Latency = spec.Latency
+	opts.FS = fs
+	var pool *bgsched.Pool
+	if opts.Scheduler == nil && spec.BackgroundWorkers >= 0 {
+		w := spec.BackgroundWorkers
+		if w == 0 {
+			w = bgsched.DefaultWorkers(1)
+		}
+		pool = bgsched.NewPool(w)
+		opts.Scheduler = pool
+		opts.MaxSubcompactions = spec.MaxSubcompactions
+	}
+	db, err = lsm.Open(opts)
+	if err != nil {
+		if pool != nil {
+			pool.Close()
+		}
+		return nil, nil, err
+	}
+	return db, func() {
+		db.Close()
+		if pool != nil {
+			pool.Close()
+		}
+	}, nil
 }
 
 // partitioner maps Spec.Partitioner onto a shard-layer partitioner.

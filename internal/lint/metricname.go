@@ -8,8 +8,8 @@ import (
 )
 
 // MetricName vets the metric names handed to the obs.Prom emission
-// methods (Counter, Gauge, GaugeF, Histogram) at compile time, so a
-// new series cannot dodge the runtime promlint exposition test by
+// methods (Counter, CounterF, Gauge, GaugeF, Histogram) at compile
+// time, so a new series cannot dodge the runtime promlint exposition test by
 // simply never being scraped in CI:
 //
 //   - names must be compile-time constants (a dynamic name is
@@ -28,7 +28,7 @@ var MetricName = &Analyzer{
 }
 
 var promMethods = map[string]bool{
-	"Counter": true, "Gauge": true, "GaugeF": true, "Histogram": true,
+	"Counter": true, "CounterF": true, "Gauge": true, "GaugeF": true, "Histogram": true,
 }
 
 var metricNameRE = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)*$`)
@@ -99,7 +99,7 @@ func checkMetricName(pass *Pass, arg ast.Expr, method, name string) {
 			return
 		}
 	}
-	isCounter := method == "Counter"
+	isCounter := method == "Counter" || method == "CounterF"
 	hasTotal := strings.HasSuffix(name, "_total")
 	switch {
 	case isCounter && !hasTotal:

@@ -2,15 +2,18 @@ package lint
 
 // MustClose enforces the lifetime conventions of the store's pinning
 // handles. Snapshots pin memtable overlay versions and zombie
-// sstables, iterators own snapshots, and block-cache handles own a
-// tenant's resident bytes; each is reclaimed only by an explicit
-// Close/Release (the finalizer safety net exists to count leaks, not
-// to excuse them). Every constructor result must therefore be
-// closed/released on all control-flow paths or escape to a tracked
-// owner (returned, stored in a registry, handed to another function).
+// sstables, iterators own snapshots, block-cache handles own a
+// tenant's resident bytes, background pools own worker goroutines,
+// scheduler owner handles pin queued/running tasks, and compaction
+// merge/dedup iterators own every input table iterator under them;
+// each is reclaimed only by an explicit Close/Release (the finalizer
+// safety net exists to count leaks, not to excuse them). Every
+// constructor result must therefore be closed/released on all
+// control-flow paths or escape to a tracked owner (returned, stored
+// in a registry, handed to another function).
 var MustClose = &Analyzer{
 	Name: "mustclose",
-	Doc:  "snapshots, iterators and cache handles must be closed/released or escape to an owner",
+	Doc:  "snapshots, iterators, cache handles, pools and merge iterators must be closed/released or escape to an owner",
 	Run: func(pass *Pass) {
 		runResourceSpecs(pass, []*resourceSpec{
 			{
@@ -52,6 +55,38 @@ var MustClose = &Analyzer{
 				releases:  []string{"Release"},
 				what:      "block-cache tenant handle (*sstable.Handle)",
 				verb:      "released",
+			},
+			{
+				pkgSuffix: "internal/bgsched",
+				typeName:  "Pool",
+				creators:  []string{"NewPool"},
+				releases:  []string{"Close"},
+				what:      "background worker pool (*bgsched.Pool)",
+				verb:      "closed",
+			},
+			{
+				pkgSuffix: "internal/bgsched",
+				typeName:  "Owner",
+				creators:  []string{"NewOwner"},
+				releases:  []string{"Close"},
+				what:      "scheduler owner handle (*bgsched.Owner)",
+				verb:      "closed",
+			},
+			{
+				pkgSuffix: "internal/compaction",
+				typeName:  "MergeIterator",
+				creators:  []string{"NewMergeIterator", "NewSliceMerge"},
+				releases:  []string{"Close"},
+				what:      "compaction merge iterator (*compaction.MergeIterator)",
+				verb:      "closed",
+			},
+			{
+				pkgSuffix: "internal/compaction",
+				typeName:  "DedupIterator",
+				creators:  []string{"NewDedupIterator"},
+				releases:  []string{"Close"},
+				what:      "compaction dedup iterator (*compaction.DedupIterator)",
+				verb:      "closed",
 			},
 			{
 				pkgSuffix: "repro",

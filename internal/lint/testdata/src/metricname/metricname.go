@@ -11,6 +11,7 @@ func emit(p *obs.Prom, dyn string) {
 	p.Gauge("triad_queue_depth", "", "", 1)      // conventional: no finding
 	p.GaugeF(flushBytes, "", "", 1)              // constants fold: no finding
 	p.Histogram("triad_commit_wait_seconds", "", "", nil)
+	p.CounterF("triad_write_stall_seconds_total", "", "", 1.5) // float counters follow counter rules: no finding
 
 	p.Counter("triad_requests", "", "", 1)                    // want `counters must end in _total`
 	p.Gauge("triad_queue_depth_total", "", "", 1)             // want `_total is the counter suffix; Gauge emits a gauge`
@@ -21,4 +22,5 @@ func emit(p *obs.Prom, dyn string) {
 	p.Histogram("triad_commit_wait", "", "", nil)             // want `histograms must carry a base-unit suffix`
 	p.Histogram("triad_commit_wait_seconds_sum", "", "", nil) // want `suffix _sum is reserved for the histogram exposition expansion`
 	p.Counter(dyn, "", "", 1)                                 // want `not a compile-time constant`
+	p.CounterF("triad_write_stall_seconds", "", "", 1.5)      // want `counters must end in _total`
 }

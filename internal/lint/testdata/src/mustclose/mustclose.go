@@ -8,6 +8,8 @@
 package mustclose
 
 import (
+	"bgsched"
+	"compaction"
 	"lsm"
 	"shard"
 	"sstable"
@@ -187,4 +189,100 @@ func closureCapture(db *lsm.DB) (func() error, error) {
 		return nil, err
 	}
 	return func() error { return s.Close() }, nil
+}
+
+// --- background scheduler handles ---
+
+// leakPool starts workers and never stops them: goroutines leak past
+// the frame.
+func leakPool() int {
+	p := bgsched.NewPool(2) // want `background worker pool \(\*bgsched\.Pool\) may not be closed`
+	return p.Workers()
+}
+
+// poolDeferClose is the canonical correct shape.
+func poolDeferClose() int {
+	p := bgsched.NewPool(2)
+	defer p.Close()
+	return p.Workers()
+}
+
+// poolEscapesToOptions: storing the pool in a config struct hands it
+// to the component that will own its shutdown.
+type engineOptions struct {
+	Scheduler *bgsched.Pool
+}
+
+func poolEscapesToOptions(o *engineOptions) {
+	o.Scheduler = bgsched.NewPool(4)
+}
+
+// leakOwnerOnEarlyReturn closes the owner on the happy path only; the
+// early return abandons its queued tasks.
+func leakOwnerOnEarlyReturn(p *bgsched.Pool) error {
+	o := p.NewOwner() // want `scheduler owner handle \(\*bgsched\.Owner\) may not be closed`
+	if !o.Submit(bgsched.ClassFlush, 0, func() {}) {
+		return nil // owner leaks here
+	}
+	return o.Close()
+}
+
+// ownerDeferClose settles the owner on every path.
+func ownerDeferClose(p *bgsched.Pool) {
+	o := p.NewOwner()
+	defer o.Close()
+	o.Submit(bgsched.ClassDeep, 1, func() {})
+}
+
+// --- compaction slice iterators ---
+
+// leakSliceMerge forgets the merge (and with it every input table
+// iterator) when the entry count comes up empty.
+func leakSliceMerge(tables []compaction.Table, slc compaction.Slice) (int, error) {
+	m, err := compaction.NewSliceMerge(tables, slc) // want `compaction merge iterator \(\*compaction\.MergeIterator\) may not be closed`
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for m.Next() {
+		n++
+	}
+	return n, nil
+}
+
+// sliceMergeDeferClose is the correct subcompaction shape.
+func sliceMergeDeferClose(tables []compaction.Table, slc compaction.Slice) (int, error) {
+	m, err := compaction.NewSliceMerge(tables, slc)
+	if err != nil {
+		return 0, err
+	}
+	defer m.Close()
+	n := 0
+	for m.Next() {
+		n++
+	}
+	return n, m.Err()
+}
+
+// mergeHandedToDedup: wrapping the merge in a dedup iterator transfers
+// ownership — the dedup's Close covers both — but the dedup itself
+// must then be settled.
+func mergeHandedToDedup(its []compaction.Iterator) error {
+	m := compaction.NewMergeIterator(its)
+	d := compaction.NewDedupIterator(m, true, nil)
+	defer d.Close()
+	for d.Next() {
+	}
+	return d.Err()
+}
+
+// leakDedup wraps and then forgets the whole stack.
+func leakDedup(its []compaction.Iterator) int {
+	m := compaction.NewMergeIterator(its)
+	d := compaction.NewDedupIterator(m, false, nil) // want `compaction dedup iterator \(\*compaction\.DedupIterator\) may not be closed`
+	n := 0
+	for d.Next() {
+		n++
+	}
+	return n
 }

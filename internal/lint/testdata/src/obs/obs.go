@@ -109,7 +109,8 @@ func (g *Ledger) AddRead(n int64) {
 // but its method set is what the metricname analyzer keys on.
 type Prom struct{}
 
-func (p *Prom) Counter(name, help, labels string, v uint64)  {}
-func (p *Prom) Gauge(name, help, labels string, v int64)     {}
-func (p *Prom) GaugeF(name, help, labels string, v float64)  {}
-func (p *Prom) Histogram(name, help, labels string, h *Hist) {}
+func (p *Prom) Counter(name, help, labels string, v uint64)   {}
+func (p *Prom) CounterF(name, help, labels string, v float64) {}
+func (p *Prom) Gauge(name, help, labels string, v int64)      {}
+func (p *Prom) GaugeF(name, help, labels string, v float64)   {}
+func (p *Prom) Histogram(name, help, labels string, h *Hist)  {}

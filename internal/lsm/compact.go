@@ -88,6 +88,13 @@ func (db *DB) CompactAll() error {
 // "during compaction, the hot keys are skipped, similarly to the duplicate
 // updates"; safe because the memtable version is strictly newer and is
 // durable in the current commit log).
+//
+// With a scheduler attached, a large leveled compaction is partitioned
+// into disjoint key-range slices (boundaries from the input tables'
+// block indexes) merged in parallel on the pool; the slices' outputs
+// are concatenated — they are disjoint and in key order — and installed
+// as the same single atomic manifest edit a monolithic merge produces,
+// so snapshots and zombie refcounts never see a half-installed split.
 func (db *DB) runCompaction(job *compaction.Job) error {
 	start := time.Now()
 	defer func() { db.met.CompactionNanos.Add(time.Since(start).Nanoseconds()) }()
@@ -99,23 +106,19 @@ func (db *DB) runCompaction(job *compaction.Job) error {
 	}
 	all := append(append([]*manifest.FileMeta(nil), job.Inputs...), job.Overlaps...)
 
-	// Open iterators newest-first: L0 inputs are already newest-first in
-	// the version; the next level's files are strictly older.
+	// Resolve tables newest-first: L0 inputs are already newest-first in
+	// the version; the next level's files are strictly older. The inputs
+	// cannot be closed mid-compaction — only a compaction consumes live
+	// tables, and compactionMu serializes them.
 	db.versionMu.RLock()
-	its := make([]sstable.Iterator, 0, len(all))
+	tabs := make([]sstable.Table, 0, len(all))
 	for _, f := range all {
 		t, ok := db.tables[f.ID]
 		if !ok {
 			db.versionMu.RUnlock()
 			return errClosedTable(f.ID)
 		}
-		it, err := t.NewIterator()
-		if err != nil {
-			db.versionMu.RUnlock()
-			closeAll(its)
-			return err
-		}
-		its = append(its, it)
+		tabs = append(tabs, t)
 	}
 	lo, hi := compaction.KeyRangeOf(all)
 	// Tombstones may be dropped only when nothing outside the merge can
@@ -140,6 +143,8 @@ func (db *DB) runCompaction(job *compaction.Job) error {
 		db.mu.Lock()
 		mem := db.mem
 		db.mu.Unlock()
+		// Memtable reads take its internal RWMutex, so concurrent
+		// subcompaction slices may share this closure.
 		skip = func(key []byte) bool {
 			_, ok := mem.Get(key)
 			if ok {
@@ -149,16 +154,107 @@ func (db *DB) runCompaction(job *compaction.Job) error {
 		}
 	}
 
-	merge := compaction.NewMergeIterator(its)
+	var inBytes int64
+	for _, f := range all {
+		inBytes += f.Size
+	}
+	// Size-tiered merges (output level == input level) must stay
+	// monolithic: they produce exactly one table.
+	slices := []compaction.Slice{{}}
+	if outLevel != job.Level && db.sched != nil {
+		maxSub := db.opts.MaxSubcompactions
+		if maxSub <= 0 {
+			maxSub = db.opts.Scheduler.Workers()
+		}
+		// Don't split below about one output file of input per slice —
+		// the split overhead would outweigh the parallelism.
+		if perSlice := int(inBytes / db.opts.TargetFileBytes); perSlice < maxSub {
+			maxSub = perSlice
+		}
+		slices = compaction.SplitJob(tabs, maxSub)
+	}
+
+	results := make([]sliceResult, len(slices))
+	if len(slices) == 1 {
+		results[0] = db.runSlice(tabs, slices[0], outLevel, outLevel == job.Level, drop, skip)
+	} else {
+		fns := make([]func(), len(slices))
+		for i := range slices {
+			i := i
+			fns[i] = func() {
+				results[i] = db.runSlice(tabs, slices[i], outLevel, false, drop, skip)
+			}
+		}
+		db.sched.RunSlices(db.opts.EventShard, fns)
+	}
+
+	var outputs []manifest.FileMeta
+	var written int64
+	var firstErr error
+	for _, r := range results {
+		if r.err != nil && firstErr == nil {
+			firstErr = r.err
+		}
+		outputs = append(outputs, r.outputs...)
+		written += r.written
+	}
+	if firstErr != nil {
+		// Every slice aborted its own partial writer; finished slices'
+		// outputs were never installed, so remove their files.
+		for _, o := range outputs {
+			f := o
+			_ = db.removeTableFiles(&f)
+		}
+		return firstErr
+	}
+	db.met.BytesCompacted.Add(written)
+	db.opts.Ledger.Add(obs.SrcCompactionWrite, written)
+
+	if err := db.installCompaction(all, outputs); err != nil {
+		return err
+	}
+	db.opts.Ledger.Add(obs.SrcCompactionRead, inBytes)
+	detail := fmt.Sprintf("L%d->L%d, %d outputs", job.Level, outLevel, len(outputs))
+	if job.WholeTree {
+		detail = fmt.Sprintf("size-tiered %d-way, %d outputs", len(all), len(outputs))
+	}
+	if len(slices) > 1 {
+		detail += fmt.Sprintf(", %d subcompactions", len(slices))
+	}
+	db.opts.Events.Add(obs.Event{
+		Kind: obs.EventCompaction, Shard: db.opts.EventShard, Level: job.Level,
+		Dur: time.Since(start), In: inBytes, Out: written,
+		Files: len(all), Detail: detail,
+	})
+	return nil
+}
+
+// sliceResult is one subcompaction slice's contribution: its output
+// tables in key order, and the bytes it wrote.
+type sliceResult struct {
+	outputs []manifest.FileMeta
+	written int64
+	err     error
+}
+
+// runSlice merges one key-range slice of the input tables into fresh
+// tables at outLevel. With the zero Slice it is the whole (monolithic)
+// compaction. singleOutput pins a size-tiered merge to one table —
+// splitting would recreate same-sized files for the bucketer to merge
+// again, forever; tiers are supposed to grow.
+func (db *DB) runSlice(tabs []sstable.Table, slc compaction.Slice, outLevel int, singleOutput bool, drop bool, skip func([]byte) bool) sliceResult {
+	merge, err := compaction.NewSliceMerge(tabs, slc)
+	if err != nil {
+		return sliceResult{err: err}
+	}
 	dedup := compaction.NewDedupIterator(merge, drop, skip)
 	defer dedup.Close()
 
 	var (
-		outputs []manifest.FileMeta
-		w       *sstable.Writer
-		written int64
-		first   []byte
-		count   uint64
+		res   sliceResult
+		w     *sstable.Writer
+		first []byte
+		count uint64
 	)
 	finish := func() error {
 		if w == nil {
@@ -169,8 +265,8 @@ func (db *DB) runCompaction(job *compaction.Job) error {
 			w.Abort(db.fs)
 			return err
 		}
-		written += n
-		outputs = append(outputs, manifest.FileMeta{
+		res.written += n
+		res.outputs = append(res.outputs, manifest.FileMeta{
 			ID:         w.ID(),
 			Kind:       manifest.KindSST,
 			Level:      outLevel,
@@ -189,26 +285,25 @@ func (db *DB) runCompaction(job *compaction.Job) error {
 			db.mu.Lock()
 			id := db.allocFileID()
 			db.mu.Unlock()
-			var err error
 			w, err = sstable.NewWriter(db.fs, id, db.opts.BlockBytes)
 			if err != nil {
-				return err
+				res.err = err
+				return res
 			}
 			first = append([]byte(nil), e.Key...)
 			count = 0
 		}
 		if err := w.Add(e); err != nil {
 			w.Abort(db.fs)
-			return err
+			res.err = err
+			return res
 		}
 		count++
-		// Leveled outputs roll at the target file size. A size-tiered
-		// merge (output level == input level) must produce one table —
-		// splitting would recreate same-sized files for the bucketer to
-		// merge again, forever; tiers are supposed to grow.
-		if outLevel != job.Level && w.EstimatedSize() >= db.opts.TargetFileBytes {
+		// Leveled outputs roll at the target file size.
+		if !singleOutput && w.EstimatedSize() >= db.opts.TargetFileBytes {
 			if err := finish(); err != nil {
-				return err
+				res.err = err
+				return res
 			}
 		}
 	}
@@ -216,32 +311,11 @@ func (db *DB) runCompaction(job *compaction.Job) error {
 		if w != nil {
 			w.Abort(db.fs)
 		}
-		return err
+		res.err = err
+		return res
 	}
-	if err := finish(); err != nil {
-		return err
-	}
-	db.met.BytesCompacted.Add(written)
-	db.opts.Ledger.Add(obs.SrcCompactionWrite, written)
-
-	if err := db.installCompaction(all, outputs); err != nil {
-		return err
-	}
-	var inBytes int64
-	for _, f := range all {
-		inBytes += f.Size
-	}
-	db.opts.Ledger.Add(obs.SrcCompactionRead, inBytes)
-	detail := fmt.Sprintf("L%d->L%d, %d outputs", job.Level, outLevel, len(outputs))
-	if job.WholeTree {
-		detail = fmt.Sprintf("size-tiered %d-way, %d outputs", len(all), len(outputs))
-	}
-	db.opts.Events.Add(obs.Event{
-		Kind: obs.EventCompaction, Shard: db.opts.EventShard, Level: job.Level,
-		Dur: time.Since(start), In: inBytes, Out: written,
-		Files: len(all), Detail: detail,
-	})
-	return nil
+	res.err = finish()
+	return res
 }
 
 // installCompaction journals the edit, swaps the version, and removes the

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/base"
+	"repro/internal/bgsched"
 	"repro/internal/compaction"
 	"repro/internal/manifest"
 	"repro/internal/memtable"
@@ -82,6 +83,15 @@ type DB struct {
 	bgErr error // first background error; surfaced on subsequent ops
 	bgWG  sync.WaitGroup
 
+	// sched is this engine's handle on the shared background pool (nil
+	// in the classic two-goroutine mode). flushActive and compactQueued
+	// (guarded by mu) keep at most one flush task draining the queue
+	// and one compaction task queued at a time, so a burst of seals
+	// does not pile duplicate tasks onto the pool.
+	sched         *bgsched.Owner
+	flushActive   bool
+	compactQueued bool
+
 	compactRequested bool
 	flushing         int // immutables currently being flushed
 	seedCounter      int64
@@ -136,6 +146,20 @@ func Open(opts Options) (*DB, error) {
 	db.cond = sync.NewCond(&db.mu)
 	if err := db.recover(); err != nil {
 		return nil, err
+	}
+	if opts.Scheduler != nil {
+		// Shared-pool mode: background work runs as pool tasks instead
+		// of private goroutines. A recovered tree may already be over
+		// its compaction triggers (e.g. many L0 files); queue a round
+		// immediately.
+		db.sched = opts.Scheduler.NewOwner()
+		db.mu.Lock()
+		if !opts.DisableAutoCompaction && !opts.DisableBackgroundIO {
+			db.requestCompactLocked()
+		}
+		db.scheduleFlushLocked()
+		db.mu.Unlock()
+		return db, nil
 	}
 	// A recovered tree may already be over its compaction triggers
 	// (e.g. many L0 files); let the worker check immediately.
@@ -379,11 +403,14 @@ func (db *DB) stallLocked() error {
 		db.cond.Wait()
 	}
 	if !stallStart.IsZero() {
+		d := time.Since(stallStart)
+		db.met.WriteStalls.Add(1)
+		db.met.WriteStallNanos.Add(d.Nanoseconds())
 		db.opts.Events.Add(obs.Event{
 			Kind:   obs.EventStall,
 			Shard:  db.opts.EventShard,
 			Level:  -1,
-			Dur:    time.Since(stallStart),
+			Dur:    d,
 			Detail: reason,
 		})
 	}
@@ -435,6 +462,7 @@ func (db *DB) sealLocked() error {
 	db.mem = memtable.New(db.nextSeed())
 	db.log = newLog
 	db.cond.Broadcast()
+	db.scheduleFlushLocked()
 	return nil
 }
 
@@ -525,6 +553,32 @@ func (db *DB) SetDisableBackgroundIO(v bool) {
 	db.mu.Unlock()
 }
 
+// CompactionDebt estimates the bytes of compaction work the tree owes
+// before it is back in shape: all of L0 once it has reached the
+// compaction trigger, plus each deeper level's excess over its size
+// target. It is the backlog the background pool is burning down —
+// surfaced per shard as triad_compaction_backlog_bytes. Size-tiered
+// trees have no per-level targets and report 0.
+func (db *DB) CompactionDebt() int64 {
+	if db.opts.SizeTieredCompaction {
+		return 0
+	}
+	db.versionMu.RLock()
+	defer db.versionMu.RUnlock()
+	var debt int64
+	if len(db.version.Levels[0]) >= db.opts.L0CompactionTrigger {
+		debt += db.version.LevelSize(0)
+	}
+	target := db.opts.BaseLevelBytes
+	for l := 1; l < manifest.NumLevels-1; l++ { // bottommost has nowhere to go
+		if sz := db.version.LevelSize(l); sz > target {
+			debt += sz - target
+		}
+		target *= db.opts.LevelMultiplier
+	}
+	return debt
+}
+
 // NumLevelFiles reports the file count per level (observability/tests).
 func (db *DB) NumLevelFiles() []int {
 	db.versionMu.RLock()
@@ -557,6 +611,13 @@ func (db *DB) Close() error {
 	db.closed = true
 	db.cond.Broadcast()
 	db.mu.Unlock()
+	if db.sched != nil {
+		// Cancel queued tasks and wait out running ones, then drain any
+		// immutables a purged flush task left behind — exactly what the
+		// classic flush worker does on its way out.
+		db.sched.Close()
+		db.drainImmutablesOnClose()
+	}
 	db.bgWG.Wait()
 
 	db.mu.Lock()

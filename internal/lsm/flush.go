@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/bgsched"
 	"repro/internal/manifest"
 	"repro/internal/memtable"
 	"repro/internal/obs"
@@ -11,11 +12,17 @@ import (
 	"repro/internal/wal"
 )
 
-// The engine runs two background workers, mirroring RocksDB's separate
-// flush and compaction thread pools (§6 credits RocksDB with introducing
+// The engine's background plane has two modes. The classic mode runs
+// two private goroutines, mirroring RocksDB's separate flush and
+// compaction thread pools (§6 credits RocksDB with introducing
 // multi-threaded background work): flushes never queue behind a long
-// compaction, so write stalls reflect flush speed alone. Exactly one
-// compaction runs at a time (compactionMu), which keeps the paper's
+// compaction, so write stalls reflect flush speed alone. With
+// Options.Scheduler set, the same work runs as tasks on a shared
+// bounded pool instead — flushes at the highest priority class, then
+// compaction rounds — so a store's many engines draw on one centrally
+// arbitrated worker budget and a single compaction can fan out into
+// parallel subcompaction slices. In both modes exactly one compaction
+// runs per engine at a time (compactionMu), which keeps the paper's
 // "% time spent in compaction" directly comparable to wall time.
 
 // flushWorker drains the immutable-memtable queue.
@@ -82,6 +89,131 @@ func (db *DB) compactionWorker() {
 			db.mu.Unlock()
 		}
 	}
+}
+
+// scheduleFlushLocked queues a flush task on the shared pool unless one
+// is already draining the queue (or the engine runs the classic
+// workers). Caller holds db.mu.
+func (db *DB) scheduleFlushLocked() {
+	if db.sched == nil || db.flushActive || len(db.imm) == 0 {
+		return
+	}
+	db.flushActive = true
+	if !db.sched.Submit(bgsched.ClassFlush, db.opts.EventShard, db.flushTask) {
+		// Owner closing: Close drains the queue inline.
+		db.flushActive = false
+	}
+}
+
+// flushTask is the pool-scheduled counterpart of flushWorker: one task
+// drains the whole immutable queue, so a burst of seals costs one pool
+// slot, and — like the classic worker — it keeps draining after Close
+// flips db.closed, since a sealed memtable's flush must not be lost.
+func (db *DB) flushTask() {
+	db.mu.Lock()
+	for {
+		if len(db.imm) == 0 || db.bgErr != nil {
+			db.flushActive = false
+			db.cond.Broadcast()
+			db.mu.Unlock()
+			return
+		}
+		imm := db.imm[0]
+		db.flushing++
+		disable := db.opts.DisableBackgroundIO
+		db.mu.Unlock()
+
+		var err error
+		if disable {
+			err = db.discardImmutable(imm)
+		} else {
+			err = db.flushImmutable(imm)
+		}
+
+		db.mu.Lock()
+		db.imm = db.imm[1:]
+		db.flushing--
+		if err != nil && db.bgErr == nil {
+			db.bgErr = err
+		}
+		if err == nil && !db.opts.DisableAutoCompaction && !disable {
+			db.requestCompactLocked()
+		}
+		db.cond.Broadcast()
+	}
+}
+
+// requestCompactLocked asks for a background compaction round: in
+// classic mode it arms the compaction worker's flag; in pool mode it
+// queues one compaction task, classed by urgency — L0 at its trigger
+// outranks deeper-level shaping. Caller holds db.mu.
+func (db *DB) requestCompactLocked() {
+	if db.sched == nil {
+		db.compactRequested = true
+		return
+	}
+	if db.compactQueued || db.closed || db.opts.DisableAutoCompaction || db.opts.DisableBackgroundIO {
+		return
+	}
+	class := bgsched.ClassDeep
+	if int(db.l0Count.Load()) >= db.opts.L0CompactionTrigger {
+		class = bgsched.ClassL0
+	}
+	db.compactQueued = true
+	if !db.sched.Submit(class, db.opts.EventShard, db.compactTask) {
+		db.compactQueued = false
+	}
+}
+
+// compactTask runs ONE compaction round, then — if the round did work —
+// re-queues itself, yielding its worker between rounds so a shard with
+// a deep backlog cannot monopolize the pool the way an in-task loop
+// would.
+func (db *DB) compactTask() {
+	db.mu.Lock()
+	db.compactQueued = false
+	if db.closed || db.bgErr != nil {
+		db.mu.Unlock()
+		return
+	}
+	db.mu.Unlock()
+	ran, err := db.compactOnceLocked(false)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err != nil {
+		if db.bgErr == nil {
+			db.bgErr = err
+		}
+		db.cond.Broadcast()
+		return
+	}
+	if ran {
+		db.requestCompactLocked()
+	}
+}
+
+// drainImmutablesOnClose flushes (or discards) whatever the purged
+// flush task left queued, preserving the classic worker's close-time
+// guarantee that no sealed memtable is dropped.
+func (db *DB) drainImmutablesOnClose() {
+	db.mu.Lock()
+	for len(db.imm) > 0 && db.bgErr == nil {
+		imm := db.imm[0]
+		disable := db.opts.DisableBackgroundIO
+		db.mu.Unlock()
+		var err error
+		if disable {
+			err = db.discardImmutable(imm)
+		} else {
+			err = db.flushImmutable(imm)
+		}
+		db.mu.Lock()
+		db.imm = db.imm[1:]
+		if err != nil && db.bgErr == nil {
+			db.bgErr = err
+		}
+	}
+	db.mu.Unlock()
 }
 
 // discardImmutable implements Figure 2's "No BG I/O" variant: the sealed

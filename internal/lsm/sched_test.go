@@ -1,0 +1,285 @@
+package lsm
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/bgsched"
+	"repro/internal/obs"
+	"repro/internal/vfs"
+)
+
+// schedOptions returns smallOptions wired to a fresh shared pool. The
+// caller owns the pool and must close it after the DB.
+func schedOptions(fs *vfs.MemFS, workers int) (Options, *bgsched.Pool) {
+	o := smallOptions(fs)
+	pool := bgsched.NewPool(workers)
+	o.Scheduler = pool
+	return o, pool
+}
+
+// TestSchedulerStallLifecycle: while the pool's only worker is occupied
+// the flush queue cannot drain and the writer stalls; the moment the
+// pool is released the queued flush runs and the writer unblocks, the
+// episode lands on the metrics and in the journal, no write is lost,
+// and nothing leaks past Close.
+func TestSchedulerStallLifecycle(t *testing.T) {
+	fs := vfs.NewMemFS()
+	o, pool := schedOptions(fs, 1)
+	defer pool.Close()
+	o.MemtableBytes = 2 << 10
+	o.MaxImmutableMemtables = 1
+	o.DisableAutoCompaction = true // isolate the flush-queue stall path
+	o.Events = obs.NewJournal(256)
+
+	// Occupy the single worker so every flush the DB schedules queues
+	// behind it.
+	blocker := pool.NewOwner()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	blocker.Submit(bgsched.ClassDeep, 0, func() { close(started); <-release })
+	<-started
+
+	db := mustOpen(t, o)
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < 200; i++ {
+			key := fmt.Sprintf("key-%04d", i)
+			if err := db.Put([]byte(key), bytes.Repeat([]byte{1}, 150)); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+
+	// Wait until the writer is wedged: the immutable queue is over its
+	// cap and cannot drain while the blocker holds the worker.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		db.mu.Lock()
+		wedged := len(db.imm) > o.MaxImmutableMemtables
+		db.mu.Unlock()
+		if wedged {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("writer never filled the flush queue; stall condition unreachable")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case err := <-done:
+		t.Fatalf("writer finished while the pool was blocked (err=%v); backpressure missing", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(release) // pool drains: the queued flush runs, the stall must end
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if err := blocker.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The episode is visible on both surfaces, with its duration.
+	m := db.Metrics()
+	if m.WriteStalls == 0 {
+		t.Fatal("writer was blocked but WriteStalls is 0")
+	}
+	if m.WriteStallTime <= 0 {
+		t.Fatalf("WriteStalls=%d but WriteStallTime=%s", m.WriteStalls, m.WriteStallTime)
+	}
+	stallEvents := 0
+	for _, e := range o.Events.Events(0) {
+		if e.Kind == obs.EventStall {
+			stallEvents++
+			if e.Dur <= 0 {
+				t.Fatalf("stall event with non-positive duration: %v", e)
+			}
+		}
+	}
+	if stallEvents == 0 {
+		t.Fatalf("%d stalls counted but none journaled", m.WriteStalls)
+	}
+
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("key-%04d", i)
+		if _, err := db.Get([]byte(key)); err != nil {
+			t.Fatalf("lost %s: %v", key, err)
+		}
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The DB's owner settled at Close: nothing still queued or running.
+	if s := pool.Stats(); s.Busy != 0 || s.QueuedTotal() != 0 {
+		t.Fatalf("pool not drained after Close: %+v", s)
+	}
+}
+
+// TestSubcompactionEqualsMonolithic: the same workload compacted with
+// parallel key-range slices and with the legacy monolithic merge yields
+// the identical key/value sequence, and a snapshot pinned across the
+// split compactions keeps its frozen view.
+func TestSubcompactionEqualsMonolithic(t *testing.T) {
+	type entry struct{ k, v string }
+	load := func(t *testing.T, db *DB) *Snapshot {
+		t.Helper()
+		var snap *Snapshot
+		for i := 0; i < 4000; i++ {
+			k := fmt.Sprintf("key-%05d", i%2500) // overwrites past 2500
+			v := fmt.Sprintf("val-%05d", i)
+			if err := db.Put([]byte(k), []byte(v)); err != nil {
+				t.Fatal(err)
+			}
+			if i%7 == 0 {
+				if err := db.Delete([]byte(fmt.Sprintf("key-%05d", (i+13)%2500))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if i == 2000 {
+				var err error
+				if snap, err = db.NewSnapshot(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := db.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.CompactAll(); err != nil {
+			t.Fatal(err)
+		}
+		return snap
+	}
+	dump := func(t *testing.T, db *DB) []entry {
+		t.Helper()
+		it, err := db.NewIterator(nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []entry
+		for it.Next() {
+			out = append(out, entry{string(it.Key()), string(it.Value())})
+		}
+		if err := it.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	// Sliced: pool-backed with up to 4 parallel slices per compaction.
+	fsA := vfs.NewMemFS()
+	oA, pool := schedOptions(fsA, 4)
+	defer pool.Close()
+	oA.MaxSubcompactions = 4
+	oA.DisableAutoCompaction = true // compact only via CompactAll, deterministically
+	oA.Events = obs.NewJournal(256)
+	dbA := mustOpen(t, oA)
+	defer dbA.Close()
+	snapA := load(t, dbA)
+	defer snapA.Close()
+
+	// Monolithic: the legacy nil-scheduler engine.
+	fsB := vfs.NewMemFS()
+	oB := smallOptions(fsB)
+	oB.DisableAutoCompaction = true
+	dbB := mustOpen(t, oB)
+	defer dbB.Close()
+	snapB := load(t, dbB)
+	defer snapB.Close()
+
+	split := false
+	for _, e := range oA.Events.Events(0) {
+		if e.Kind == obs.EventCompaction && strings.Contains(e.Detail, "subcompaction") {
+			split = true
+		}
+	}
+	if !split {
+		t.Fatal("no compaction actually split into subcompactions; differential is vacuous")
+	}
+
+	gotA, gotB := dump(t, dbA), dump(t, dbB)
+	if len(gotA) != len(gotB) {
+		t.Fatalf("entry counts differ: sliced %d vs monolithic %d", len(gotA), len(gotB))
+	}
+	for i := range gotA {
+		if gotA[i] != gotB[i] {
+			t.Fatalf("entry %d differs: sliced %v vs monolithic %v", i, gotA[i], gotB[i])
+		}
+	}
+
+	// The snapshots were pinned before the compactions ran; their frozen
+	// views must agree with each other entry for entry.
+	dumpSnap := func(t *testing.T, s *Snapshot) []entry {
+		t.Helper()
+		it, err := s.NewIterator(nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []entry
+		for it.Next() {
+			out = append(out, entry{string(it.Key()), string(it.Value())})
+		}
+		if err := it.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	sA, sB := dumpSnap(t, snapA), dumpSnap(t, snapB)
+	if len(sA) != len(sB) {
+		t.Fatalf("snapshot entry counts differ: sliced %d vs monolithic %d", len(sA), len(sB))
+	}
+	for i := range sA {
+		if sA[i] != sB[i] {
+			t.Fatalf("snapshot entry %d differs: sliced %v vs monolithic %v", i, sA[i], sB[i])
+		}
+	}
+	if len(sA) == 0 {
+		t.Fatal("pinned snapshots saw no data; test ineffective")
+	}
+}
+
+// TestSchedulerModeBasics runs the bread-and-butter lifecycle on a
+// pool-backed DB: writes, flush, auto-compaction, reopen-recovery.
+func TestSchedulerModeBasics(t *testing.T) {
+	fs := vfs.NewMemFS()
+	o, pool := schedOptions(fs, 2)
+	defer pool.Close()
+	db := mustOpen(t, o)
+	for i := 0; i < 3000; i++ {
+		k := fmt.Sprintf("key-%05d", i)
+		if err := db.Put([]byte(k), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if db.Metrics().Flushes == 0 {
+		t.Fatal("no flush ran on the pool")
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recovery reopens on the same pool.
+	o2 := smallOptions(fs)
+	o2.Scheduler = pool
+	db2 := mustOpen(t, o2)
+	defer db2.Close()
+	for _, i := range []int{0, 1234, 2999} {
+		k := fmt.Sprintf("key-%05d", i)
+		v, err := db2.Get([]byte(k))
+		if err != nil {
+			t.Fatalf("after reopen, %s: %v", k, err)
+		}
+		if want := fmt.Sprintf("v%d", i); string(v) != want {
+			t.Fatalf("after reopen, %s = %q, want %q", k, v, want)
+		}
+	}
+}

@@ -37,6 +37,8 @@ func (db *DB) Stats() string {
 	fmt.Fprintf(&b, "bytes: user %d  logged %d  flushed %d  compacted %d\n",
 		m.UserBytes, m.BytesLogged, m.BytesFlushed, m.BytesCompacted)
 	fmt.Fprintf(&b, "background time: flush %s, compaction %s\n", m.FlushTime, m.CompactionTime)
+	fmt.Fprintf(&b, "compaction debt: %d bytes  write stalls: %d (%s total)\n",
+		db.CompactionDebt(), m.WriteStalls, m.WriteStallTime)
 	fmt.Fprintf(&b, "WA: %.2f (flush-relative %.2f)  RA: %.2f\n",
 		m.WriteAmplification(), m.FlushRelativeWA(), m.ReadAmplification())
 	if hits, misses := db.CacheStats(); hits+misses > 0 {

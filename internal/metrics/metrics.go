@@ -36,6 +36,12 @@ type Metrics struct {
 	EntriesDiscarded   atomic.Int64 // stale versions dropped by compaction
 	HotKeysKeptInMem   atomic.Int64 // TRIAD-MEM hot survivors across flushes
 	ColdEntriesFlushed atomic.Int64
+
+	// Write-stall accounting: how often writers blocked on backpressure
+	// (flush queue full or L0 at its stop-writes trigger) and for how
+	// long in total — the user-visible cost of background-I/O debt.
+	WriteStalls     atomic.Int64
+	WriteStallNanos atomic.Int64
 }
 
 // Snapshot is a point-in-time copy with derived metrics.
@@ -48,6 +54,8 @@ type Snapshot struct {
 	FlushTime, CompactionTime                 time.Duration
 	EntriesCompacted, EntriesDiscarded        int64
 	HotKeysKeptInMem, ColdEntriesFlushed      int64
+	WriteStalls                               int64
+	WriteStallTime                            time.Duration
 }
 
 // Snapshot captures the current counters.
@@ -71,6 +79,8 @@ func (m *Metrics) Snapshot() Snapshot {
 		EntriesDiscarded:    m.EntriesDiscarded.Load(),
 		HotKeysKeptInMem:    m.HotKeysKeptInMem.Load(),
 		ColdEntriesFlushed:  m.ColdEntriesFlushed.Load(),
+		WriteStalls:         m.WriteStalls.Load(),
+		WriteStallTime:      time.Duration(m.WriteStallNanos.Load()),
 	}
 }
 
@@ -95,6 +105,8 @@ func (s Snapshot) Sub(earlier Snapshot) Snapshot {
 		EntriesDiscarded:    s.EntriesDiscarded - earlier.EntriesDiscarded,
 		HotKeysKeptInMem:    s.HotKeysKeptInMem - earlier.HotKeysKeptInMem,
 		ColdEntriesFlushed:  s.ColdEntriesFlushed - earlier.ColdEntriesFlushed,
+		WriteStalls:         s.WriteStalls - earlier.WriteStalls,
+		WriteStallTime:      s.WriteStallTime - earlier.WriteStallTime,
 	}
 }
 
@@ -120,6 +132,8 @@ func (s Snapshot) Add(other Snapshot) Snapshot {
 		EntriesDiscarded:    s.EntriesDiscarded + other.EntriesDiscarded,
 		HotKeysKeptInMem:    s.HotKeysKeptInMem + other.HotKeysKeptInMem,
 		ColdEntriesFlushed:  s.ColdEntriesFlushed + other.ColdEntriesFlushed,
+		WriteStalls:         s.WriteStalls + other.WriteStalls,
+		WriteStallTime:      s.WriteStallTime + other.WriteStallTime,
 	}
 }
 

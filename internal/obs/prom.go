@@ -61,6 +61,12 @@ func (p *Prom) Counter(name, help, labels string, v int64) {
 	fmt.Fprintf(p.w, "%s %d\n", labeled(name, labels), v)
 }
 
+// CounterF emits one float counter sample (e.g. cumulative seconds).
+func (p *Prom) CounterF(name, help, labels string, v float64) {
+	p.header(name, "counter", help)
+	fmt.Fprintf(p.w, "%s %g\n", labeled(name, labels), v)
+}
+
 // Gauge emits one integer gauge sample.
 func (p *Prom) Gauge(name, help, labels string, v int64) {
 	p.header(name, "gauge", help)

@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/bgsched"
 	"repro/internal/obs"
 )
 
@@ -121,6 +122,20 @@ func (s *Server) MetricsText() string {
 	p.Counter("triad_compactions_deferred_total", "TRIAD-DISK compaction deferrals (insufficient key overlap).", "", m.CompactionsDeferred)
 	p.GaugeF("triad_write_amplification", "Store-wide write amplification: (logged+flushed+compacted)/user bytes.", "", m.WriteAmplification())
 	p.GaugeF("triad_read_amplification", "Store-wide read amplification: disk reads per user read.", "", m.ReadAmplification())
+	p.Counter("triad_write_stalls_total", "Write-stall episodes: writers blocked on memtable or L0 backpressure.", "", m.WriteStalls)
+	p.CounterF("triad_write_stall_seconds_total", "Total wall time writers spent blocked in stalls.", "", m.WriteStallTime.Seconds())
+	p.Gauge("triad_compaction_backlog_bytes", "Store-wide pending-compaction byte estimate (L0 at trigger plus per-level excess over target).", "", s.store.CompactionDebt())
+
+	if ps := s.store.Scheduler(); ps != nil {
+		bs := ps.Stats()
+		p.Gauge("triad_bg_workers", "Background pool worker count.", "", int64(bs.Workers))
+		p.Gauge("triad_bg_workers_busy", "Background pool workers currently running a task.", "", int64(bs.Busy))
+		for c := 0; c < bgsched.NumClasses; c++ {
+			p.Gauge("triad_bg_queue_depth", "Tasks queued in the background pool by priority class.",
+				fmt.Sprintf("class=%q", bgsched.Class(c)), int64(bs.Queued[c]))
+		}
+		p.Counter("triad_bg_tasks_completed_total", "Background pool tasks run to completion.", "", bs.Completed)
+	}
 
 	cs := s.store.BlockCacheStats()
 	p.Counter("triad_block_cache_hits_total", "Block-cache lookups served from memory.", "", cs.Hits)
@@ -140,6 +155,9 @@ func (s *Server) MetricsText() string {
 		p.GaugeF("triad_shard_write_amplification", "The shard's own write amplification.", l, st.WA)
 		p.GaugeF("triad_shard_read_amplification", "The shard's own read amplification.", l, st.RA)
 		p.GaugeF("triad_shard_hot_budget", "The shard's current TRIAD-MEM hot fraction (auto-tuned when enabled).", l, st.HotBudget)
+		p.Gauge("triad_shard_compaction_backlog_bytes", "The shard's pending-compaction byte estimate.", l, st.CompactionDebt)
+		p.Counter("triad_shard_write_stalls_total", "Write-stall episodes on the shard.", l, st.WriteStalls)
+		p.CounterF("triad_shard_write_stall_seconds_total", "Wall time the shard's writers spent blocked in stalls.", l, st.WriteStallTime.Seconds())
 		p.Gauge("triad_shard_snapshots_open", "Live snapshot pins on the shard.", l, int64(st.OpenSnapshots))
 		p.Counter("triad_shard_snapshots_leaked_total", "Snapshot pins reclaimed by finalizer instead of Close.", l, st.LeakedSnapshots)
 		p.Gauge("triad_shard_overlay_entries", "Preserved old versions in the shard's snapshot overlay.", l, int64(st.OverlayEntries))

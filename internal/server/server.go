@@ -34,6 +34,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/bgsched"
 	"repro/internal/lsm"
 	"repro/internal/metrics"
 	"repro/internal/obs"
@@ -90,6 +91,13 @@ type Store interface {
 	// breakdowns ride ShardStats. All-zero when observability is
 	// disabled.
 	IOBySource() obs.LedgerSnapshot
+	// Scheduler is the store's shared background worker pool, exported
+	// as the triad_bg_* series. Nil when the store runs the legacy
+	// per-shard background goroutines.
+	Scheduler() *bgsched.Pool
+	// CompactionDebt is the store-wide pending-compaction byte
+	// estimate — the backlog the background pool is draining.
+	CompactionDebt() int64
 }
 
 var _ Store = (*shard.DB)(nil)

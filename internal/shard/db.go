@@ -42,6 +42,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/bgsched"
 	"repro/internal/lsm"
 	"repro/internal/obs"
 	"repro/internal/sstable"
@@ -87,6 +88,23 @@ type Options struct {
 	// against). Engine.Events, when set, still wins over the built-in
 	// journal.
 	DisableObservability bool
+
+	// BackgroundWorkers sizes the store-wide background worker pool
+	// shared by every shard's flushes and compactions (with priority
+	// classes and per-shard fairness; see internal/bgsched). 0 means
+	// the default min(GOMAXPROCS, shards+2), floored at 2; a negative
+	// value disables the pool and keeps the seed's two private
+	// goroutines per shard — the measurable baseline. Ignored when
+	// Scheduler is set.
+	BackgroundWorkers int
+	// Scheduler, when non-nil, is a caller-owned pool shared even wider
+	// than this store (e.g. several stores on one machine). The store
+	// does not close it.
+	Scheduler *bgsched.Pool
+	// MaxSubcompactions caps how many parallel key-range slices one
+	// compaction may split into; 0 means up to the pool's worker count,
+	// 1 disables splitting. Meaningless without a pool.
+	MaxSubcompactions int
 }
 
 // MemFS returns a NewFS factory handing every shard a fresh in-memory
@@ -163,6 +181,12 @@ type DB struct {
 	// cache is the store-wide block cache every shard draws from (nil
 	// when caching is disabled or SplitBlockCache keeps per-shard LRUs).
 	cache *sstable.Cache
+
+	// sched is the store-wide background worker pool (nil in the
+	// legacy two-goroutines-per-shard mode); ownSched records whether
+	// Close should tear it down (false when the caller injected it).
+	sched    *bgsched.Pool
+	ownSched bool
 }
 
 // Open opens (creating or recovering) every shard. Recovery is
@@ -213,9 +237,24 @@ func Open(o Options) (*DB, error) {
 	if db.cache == nil && !o.SplitBlockCache && o.Engine.BlockCacheBytes > 0 {
 		db.cache = sstable.NewCache(o.Engine.BlockCacheBytes * int64(o.Shards))
 	}
+	// One store-wide background pool arbitrates every shard's flushes
+	// and compactions (the same centralization PR 7 gave the block
+	// cache); a caller-supplied pool wins, a negative worker count
+	// keeps the legacy two-goroutines-per-shard plane.
+	db.sched = o.Scheduler
+	if db.sched == nil && o.BackgroundWorkers >= 0 {
+		w := o.BackgroundWorkers
+		if w == 0 {
+			w = bgsched.DefaultWorkers(o.Shards)
+		}
+		db.sched = bgsched.NewPool(w)
+		db.ownSched = true
+	}
 	for i, fs := range fses {
 		eo := o.Engine
 		eo.FS = fs
+		eo.Scheduler = db.sched
+		eo.MaxSubcompactions = o.MaxSubcompactions
 		eo.Events = db.events
 		eo.EventShard = i
 		if db.ledgers != nil {
@@ -573,8 +612,20 @@ func (db *DB) SetDisableBackgroundIO(v bool) {
 func (db *DB) Close() error { return db.closeAll() }
 
 func (db *DB) closeAll() error {
-	return db.fanOut(func(_ int, s *lsm.DB) error { return s.Close() })
+	err := db.fanOut(func(_ int, s *lsm.DB) error { return s.Close() })
+	// The pool outlives the shards: each shard's Close cancels its own
+	// owner (waiting out its running tasks) first, so by now the pool
+	// is idle and tearing it down cannot strand engine work.
+	if db.ownSched && db.sched != nil {
+		db.sched.Close()
+		db.sched = nil
+	}
+	return err
 }
+
+// Scheduler exposes the store-wide background pool (nil in the legacy
+// per-shard-goroutines mode).
+func (db *DB) Scheduler() *bgsched.Pool { return db.sched }
 
 // fanOut runs fn on every shard concurrently and returns the first
 // error. Every fn runs to completion regardless of other shards' errors.

@@ -3,7 +3,9 @@ package shard
 import (
 	"fmt"
 	"strings"
+	"time"
 
+	"repro/internal/bgsched"
 	"repro/internal/manifest"
 	"repro/internal/metrics"
 	"repro/internal/obs"
@@ -94,6 +96,14 @@ type ShardStat struct {
 	Files int
 	// DiskBytes is the shard's total on-disk byte size.
 	DiskBytes int64
+	// CompactionDebt is the shard's pending-compaction byte estimate:
+	// L0 at or past its trigger plus each level's excess over target —
+	// the backlog the background pool still has to burn down.
+	CompactionDebt int64
+	// WriteStalls and WriteStallTime total the shard's write-stall
+	// episodes and their wall time, the user-facing cost of that debt.
+	WriteStalls    int64
+	WriteStallTime time.Duration
 	// WA and RA are the shard's own write and read amplification.
 	WA, RA float64
 	// HotBudget is the shard's current TRIAD-MEM hot fraction (the
@@ -134,6 +144,9 @@ func (db *DB) ShardStats() []ShardStat {
 			Writes:          m.UserWrites,
 			WriteBytes:      m.UserBytes,
 			Reads:           m.UserReads,
+			CompactionDebt:  s.CompactionDebt(),
+			WriteStalls:     m.WriteStalls,
+			WriteStallTime:  m.WriteStallTime,
 			WA:              m.WriteAmplification(),
 			RA:              m.ReadAmplification(),
 			HotBudget:       s.HotFraction(),
@@ -180,6 +193,16 @@ func (db *DB) Stats() string {
 		m.UserBytes, m.BytesLogged, m.BytesFlushed, m.BytesCompacted)
 	fmt.Fprintf(&b, "WA: %.2f (flush-relative %.2f)  RA: %.2f\n",
 		m.WriteAmplification(), m.FlushRelativeWA(), m.ReadAmplification())
+	fmt.Fprintf(&b, "compaction debt: %d bytes  write stalls: %d (%s total)\n",
+		db.CompactionDebt(), m.WriteStalls, m.WriteStallTime)
+	if ps := db.sched; ps != nil {
+		s := ps.Stats()
+		fmt.Fprintf(&b, "background pool: %d workers (%d busy), queued", s.Workers, s.Busy)
+		for c := 0; c < bgsched.NumClasses; c++ {
+			fmt.Fprintf(&b, " %s=%d", bgsched.Class(c), s.Queued[c])
+		}
+		fmt.Fprintf(&b, ", %d tasks completed\n", s.Completed)
+	}
 	if io := db.IOBySource(); io[obs.SrcUser] > 0 {
 		ub := float64(io[obs.SrcUser])
 		fmt.Fprintf(&b, "WA decomposition (per user byte): wal %.2f + flush %.2f + compaction %.2f  [compaction read %d B, snapshot-gc reclaimed %d B]\n",
@@ -201,10 +224,11 @@ func (db *DB) Stats() string {
 		fmt.Fprintf(&b, "apply latency: n=%d p50=%s p90=%s p99=%s p99.9=%s max=%s\n",
 			h.Count(), h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99), h.Quantile(0.999), h.Max())
 	}
-	fmt.Fprintf(&b, "per-shard balance (writes/reads/files/disk, WA, RA, hot budget, snaps, overlay, cache):\n")
+	fmt.Fprintf(&b, "per-shard balance (writes/reads/files/disk, WA, RA, hot budget, debt, stalls, snaps, overlay, cache):\n")
 	for _, st := range db.ShardStats() {
-		fmt.Fprintf(&b, "  s%d: writes=%d (%d B) reads=%d files=%d disk=%d B  WA=%.2f RA=%.2f  hot=%.4f  snaps=%d/%d leaked  overlay=%d  cache=%d/%d hits (%d B)\n",
+		fmt.Fprintf(&b, "  s%d: writes=%d (%d B) reads=%d files=%d disk=%d B  WA=%.2f RA=%.2f  hot=%.4f  debt=%d B  stalls=%d (%s)  snaps=%d/%d leaked  overlay=%d  cache=%d/%d hits (%d B)\n",
 			st.Shard, st.Writes, st.WriteBytes, st.Reads, st.Files, st.DiskBytes, st.WA, st.RA, st.HotBudget,
+			st.CompactionDebt, st.WriteStalls, st.WriteStallTime,
 			st.OpenSnapshots, st.LeakedSnapshots, st.OverlayEntries, st.CacheHits, st.CacheHits+st.CacheMisses, st.CacheBytes)
 	}
 	if ev := db.events; ev.Total() > 0 {
@@ -214,6 +238,16 @@ func (db *DB) Stats() string {
 		}
 	}
 	return b.String()
+}
+
+// CompactionDebt sums every shard's pending-compaction byte estimate —
+// the store-wide backlog the background pool is draining.
+func (db *DB) CompactionDebt() int64 {
+	var n int64
+	for _, s := range db.shards {
+		n += s.CompactionDebt()
+	}
+	return n
 }
 
 // IOBySource reports the store-wide I/O attribution: every shard's

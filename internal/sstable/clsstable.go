@@ -126,6 +126,11 @@ func (r *CLReader) FileSize() int64 { return r.idx.size }
 // Sketch implements Table.
 func (r *CLReader) Sketch() *hll.Sketch { return r.idx.sketch }
 
+// BlockSeparators returns the last key of every index block, ascending
+// (see Reader.BlockSeparators) — the key distribution of the index is
+// the key distribution of the table.
+func (r *CLReader) BlockSeparators() [][]byte { return r.idx.BlockSeparators() }
+
 // Close implements Table.
 func (r *CLReader) Close() error {
 	err1 := r.idx.Close()

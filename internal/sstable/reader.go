@@ -173,6 +173,19 @@ func (r *Reader) NewIterator() (Iterator, error) {
 	return &readerIter{r: r, block: -1}, nil
 }
 
+// BlockSeparators returns the last key of every data block, ascending —
+// the table's natural key-range partition points. The compaction
+// splitter uses them as subcompaction slice boundaries: they come from
+// the already-loaded sparse index, so choosing boundaries costs no I/O.
+// The returned slices alias the index; callers must not mutate them.
+func (r *Reader) BlockSeparators() [][]byte {
+	out := make([][]byte, len(r.index))
+	for i := range r.index {
+		out[i] = r.index[i].lastKey
+	}
+	return out
+}
+
 type readerIter struct {
 	r     *Reader
 	block int // current block index; -1 before first

@@ -26,6 +26,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/bgsched"
 	"repro/internal/lsm"
 	"repro/internal/memtable"
 	"repro/internal/metrics"
@@ -91,6 +92,17 @@ type Options struct {
 	// i owns [RangeSplits[i-1], RangeSplits[i]), the last shard owns the
 	// tail. Ignored by "hash".
 	RangeSplits [][]byte
+	// BackgroundWorkers sizes the store's shared background worker pool:
+	// one bounded pool runs every shard's flushes and compactions with
+	// flush-first priority and per-shard fairness, instead of two free
+	// goroutines per shard. 0 sizes it min(GOMAXPROCS, shards+2) with a
+	// floor of 2; negative restores the legacy per-shard goroutines (no
+	// pool, no parallel subcompactions).
+	BackgroundWorkers int
+	// MaxSubcompactions caps how many parallel slices one leveled
+	// compaction may split into when the pool is on. 0 allows up to the
+	// pool's worker count; 1 keeps compactions monolithic.
+	MaxSubcompactions int
 	// Advanced, when non-nil, is used verbatim (FS must still be set;
 	// under Shards > 1 it is the per-shard template instead).
 	Advanced *lsm.Options
@@ -179,6 +191,9 @@ type DB struct {
 	inner   engine
 	newIter func(start, limit []byte) (Iterator, error)
 	newSnap func() (*Snapshot, error)
+	// ownPool is the private background pool built for an unsharded
+	// store (the shard layer owns its own); closed after the engine.
+	ownPool *bgsched.Pool
 }
 
 // ErrNotFound is returned by Get for absent or deleted keys.
@@ -234,10 +249,12 @@ func Open(o Options) (*DB, error) {
 		// owns the durable store metadata and its reopen validation.
 		opts.FS = nil
 		so := shard.Options{
-			Shards:      o.Shards,
-			Engine:      opts,
-			NewFS:       o.ShardFS,
-			Partitioner: part,
+			Shards:            o.Shards,
+			Engine:            opts,
+			NewFS:             o.ShardFS,
+			Partitioner:       part,
+			BackgroundWorkers: o.BackgroundWorkers,
+			MaxSubcompactions: o.MaxSubcompactions,
 		}
 		if opts.BlockCacheBytes > 0 {
 			// BlockCacheBytes is the store-wide budget, not a per-shard
@@ -255,14 +272,33 @@ func Open(o Options) (*DB, error) {
 			newSnap: wrapSnap(inner.NewSnapshot, (*shard.Snapshot).NewIterator, (*shard.Snapshot).Epoch),
 		}, nil
 	}
+	// Unsharded stores get a private pool of their own (closed with the
+	// DB) unless the caller opted back into the legacy goroutines or
+	// supplied a pool through Advanced.
+	var ownPool *bgsched.Pool
+	if opts.Scheduler == nil && o.BackgroundWorkers >= 0 {
+		w := o.BackgroundWorkers
+		if w == 0 {
+			w = bgsched.DefaultWorkers(1)
+		}
+		ownPool = bgsched.NewPool(w)
+		opts.Scheduler = ownPool
+	}
+	if opts.MaxSubcompactions == 0 {
+		opts.MaxSubcompactions = o.MaxSubcompactions
+	}
 	inner, err := lsm.Open(opts)
 	if err != nil {
+		if ownPool != nil {
+			ownPool.Close()
+		}
 		return nil, err
 	}
 	return &DB{
 		inner:   inner,
 		newIter: wrapIter(inner.NewIterator),
 		newSnap: wrapSnap(inner.NewSnapshot, (*lsm.Snapshot).NewIterator, (*lsm.Snapshot).Seq),
+		ownPool: ownPool,
 	}, nil
 }
 
@@ -410,7 +446,14 @@ func (db *DB) Events() *obs.Journal {
 }
 
 // Close flushes background state and releases all resources.
-func (db *DB) Close() error { return db.inner.Close() }
+func (db *DB) Close() error {
+	err := db.inner.Close()
+	if db.ownPool != nil {
+		db.ownPool.Close()
+		db.ownPool = nil
+	}
+	return err
+}
 
 // Re-exported tuning types for Advanced configuration.
 type (
